@@ -1,0 +1,95 @@
+// Command hdkbench reproduces the paper's evaluation: it runs the
+// Section 5 sweep (growing peer network, distributed single-term baseline
+// vs HDK engine at several DFmax values, centralized BM25 reference) and
+// prints every table and figure series the paper reports.
+//
+// Usage:
+//
+//	hdkbench [-scale small|medium|paper] [-experiment all|table1|table2|fig2|...|fig8] [-quiet]
+//
+// The small scale finishes in seconds, medium in minutes; paper runs the
+// verbatim Table 2 parameters (hours in one process).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: small, medium or paper")
+	experiment := flag.String("experiment", "all", "artifact to print: all, table1, table2, fig2..fig8")
+	fabric := flag.String("fabric", "chord", "overlay substrate: chord or pgrid (the paper's P-Grid)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if err := run(*scaleName, *experiment, *fabric, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "hdkbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName, experiment, fabric string, quiet bool) error {
+	var scale experiments.Scale
+	switch scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "medium":
+		scale = experiments.MediumScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	scale.Fabric = fabric
+
+	// The purely analytic artifacts need no sweep.
+	switch experiment {
+	case "fig2":
+		experiments.Fig2().Fprint(os.Stdout)
+		return nil
+	case "fig8":
+		experiments.Fig8().Fprint(os.Stdout)
+		return nil
+	case "table2":
+		experiments.Table2(scale).Fprint(os.Stdout)
+		return nil
+	}
+
+	progress := experiments.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := experiments.Run(scale, progress)
+	if err != nil {
+		return err
+	}
+
+	switch experiment {
+	case "all":
+		for _, t := range experiments.AllTables(res) {
+			t.Fprint(os.Stdout)
+		}
+		res.WriteSummary(os.Stdout)
+	case "table1":
+		experiments.Table1(res).Fprint(os.Stdout)
+	case "fig3":
+		experiments.Fig3(res).Fprint(os.Stdout)
+	case "fig4":
+		experiments.Fig4(res).Fprint(os.Stdout)
+	case "fig5":
+		experiments.Fig5(res).Fprint(os.Stdout)
+	case "fig6":
+		experiments.Fig6(res).Fprint(os.Stdout)
+	case "fig7":
+		experiments.Fig7(res).Fprint(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

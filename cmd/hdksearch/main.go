@@ -1,0 +1,159 @@
+// Command hdksearch is an interactive search shell over an HDK-indexed
+// synthetic collection: it builds a peer network, indexes the collection
+// with highly discriminative keys, and answers queries typed on stdin,
+// reporting the per-query traffic next to each result list.
+//
+// Usage:
+//
+//	hdksearch [-docs N] [-peers N] [-dfmax N] [-topk N]
+//
+// Type a query (space-separated terms from the printed sample
+// vocabulary), or one of the commands:
+//
+//	:stats   print index statistics
+//	:doc N   print document N's terms
+//	:quit    exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/rank"
+	"repro/internal/transport"
+)
+
+func main() {
+	docs := flag.Int("docs", 400, "number of synthetic documents")
+	peers := flag.Int("peers", 8, "number of peers")
+	dfmax := flag.Int("dfmax", 12, "DFmax discriminative threshold")
+	topk := flag.Int("topk", 10, "results per query")
+	flag.Parse()
+
+	if err := run(*docs, *peers, *dfmax, *topk); err != nil {
+		fmt.Fprintln(os.Stderr, "hdksearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(docs, peers, dfmax, topk int) error {
+	p := corpus.DefaultGenParams(docs)
+	p.AvgDocLen = 80
+	col, err := corpus.Generate(p)
+	if err != nil {
+		return err
+	}
+
+	net := overlay.NewNetwork(transport.NewInProc())
+	nodes := make([]*overlay.Node, peers)
+	for i := range nodes {
+		if nodes[i], err = net.AddNode(fmt.Sprintf("peer-%d", i)); err != nil {
+			return err
+		}
+	}
+	cfg := core.DefaultConfig(rank.CollectionStats{NumDocs: col.M(), AvgDocLen: col.AvgDocLen()})
+	cfg.DFMax = dfmax
+	cfg.Window = 10
+	eng, err := core.NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		return err
+	}
+	for i, part := range col.SplitRoundRobin(peers) {
+		if _, err := eng.AddPeer(nodes[i], part); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("indexing %d docs over %d peers (DFmax=%d, w=%d, smax=%d)...\n",
+		col.M(), peers, cfg.DFMax, cfg.Window, cfg.SMax)
+	if err := eng.BuildIndex(); err != nil {
+		return err
+	}
+	stats := eng.Stats()
+	fmt.Printf("index ready: %d keys, %d postings stored\n", stats.KeysTotal, stats.StoredTotal)
+	fmt.Printf("sample vocabulary: %s\n", strings.Join(col.Vocab[40:52], " "))
+	fmt.Println(`type a query, ":stats", ":doc N" or ":quit"`)
+
+	termID := make(map[string]corpus.TermID, len(col.Vocab))
+	for i, s := range col.Vocab {
+		termID[s] = corpus.TermID(i)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ":quit":
+			return nil
+		case line == ":stats":
+			printStats(eng, net)
+			continue
+		case strings.HasPrefix(line, ":doc "):
+			printDoc(col, strings.TrimPrefix(line, ":doc "))
+			continue
+		}
+		q, unknown := parseQuery(line, termID)
+		if len(unknown) > 0 {
+			fmt.Printf("unknown terms ignored: %s\n", strings.Join(unknown, " "))
+		}
+		if len(q.Terms) == 0 {
+			fmt.Println("no known terms in query")
+			continue
+		}
+		res, err := eng.Search(q, nodes[0], topk)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d results | probed %d keys, found %d, fetched %d postings\n",
+			len(res.Results), res.ProbedKeys, res.FoundKeys, res.FetchedPosts)
+		for i, r := range res.Results {
+			fmt.Printf("%2d. doc %-6d score %.3f\n", i+1, r.Doc, r.Score)
+		}
+	}
+	return sc.Err()
+}
+
+func parseQuery(line string, termID map[string]corpus.TermID) (corpus.Query, []string) {
+	var q corpus.Query
+	var unknown []string
+	for _, tok := range strings.Fields(line) {
+		if id, ok := termID[tok]; ok {
+			q.Terms = append(q.Terms, id)
+		} else {
+			unknown = append(unknown, tok)
+		}
+	}
+	return q, unknown
+}
+
+func printStats(eng *core.Engine, net *overlay.Network) {
+	stats := eng.Stats()
+	traffic := eng.Traffic().Snapshot()
+	fmt.Printf("keys by size: 1:%d 2:%d 3:%d | stored postings %d | inserted %d\n",
+		stats.KeysBySize[1], stats.KeysBySize[2], stats.KeysBySize[3],
+		stats.StoredTotal, traffic.InsertedTotal)
+	count, hops := net.LookupStats()
+	fmt.Printf("dht lookups %d, mean hops %.2f | transport: %d msgs, %d bytes\n",
+		count, hops, net.TransportStats().Messages, net.TransportStats().Bytes)
+}
+
+func printDoc(col *corpus.Collection, arg string) {
+	id, err := strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil || id < 0 || id >= col.M() {
+		fmt.Println("bad document id")
+		return
+	}
+	fmt.Println(col.Text(&col.Docs[id]))
+}

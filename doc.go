@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Scalable
+// Peer-to-Peer Web Retrieval with Highly Discriminative Keys" (Podnar,
+// Rajman, Luu, Klemm, Aberer — ICDE 2007).
+//
+// The library implements the paper's indexing/retrieval model (HDK keys
+// over a structured P2P overlay) together with every substrate it needs:
+// text processing, Zipf analysis, a synthetic web-like corpus, posting
+// lists, BM25 ranking, a Chord-style DHT over in-process and TCP
+// transports, the single-term baselines, the Section 4 scalability
+// analysis, and an experiment harness regenerating every table and figure
+// of the evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package only anchors the repository-level benchmarks in
+// bench_test.go; the implementation lives under internal/.
+package repro

@@ -1,0 +1,105 @@
+// Tuning: the paper's closing argument made concrete — sweep DFmax on a
+// fixed collection and print the bandwidth/quality trade-off (per-query
+// postings vs top-20 overlap with centralized BM25), then ask the
+// analysis module which DFmax fits a given per-query posting budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/rank"
+	"repro/internal/transport"
+)
+
+func main() {
+	docs := flag.Int("docs", 800, "collection size")
+	budget := flag.Float64("budget", 120, "per-query posting budget for the advisor")
+	flag.Parse()
+	if err := run(*docs, *budget); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(docs int, budget float64) error {
+	p := corpus.DefaultGenParams(docs)
+	p.AvgDocLen = 80
+	col, err := corpus.Generate(p)
+	if err != nil {
+		return err
+	}
+	cen := baseline.NewCentralized(col, rank.DefaultBM25())
+
+	qp := corpus.DefaultQueryParams(60)
+	qp.MinHits = 3
+	queries, err := corpus.GenerateQueries(col, qp, 10, cen.ConjunctiveHits)
+	if err != nil {
+		return err
+	}
+	reference := make([][]rank.Result, len(queries))
+	for i, q := range queries {
+		reference[i] = cen.Search(q, 20)
+	}
+	avgQ := corpus.AvgQuerySize(queries)
+	fmt.Printf("collection: %d docs | %d queries (avg %.2f terms)\n\n", col.M(), len(queries), avgQ)
+	fmt.Printf("%-8s %-12s %-14s %-16s %-10s\n", "DFmax", "keys", "stored posts", "postings/query", "overlap%")
+
+	for _, dfmax := range []int{4, 8, 12, 16, 24, 32} {
+		keys, stored, perQuery, overlap, err := measure(col, dfmax, queries, reference)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-12d %-14d %-16.1f %-10.1f\n", dfmax, keys, stored, perQuery, overlap)
+	}
+
+	advised := analysis.AdviseDFMax(budget, avgQ, 3)
+	fmt.Printf("\nadvisor: budget of %.0f postings/query at avg query size %.2f -> DFmax <= %d (bound %.0f)\n",
+		budget, avgQ, advised, analysis.RetrievalBound(avgQ, 3, advised))
+	return nil
+}
+
+func measure(col *corpus.Collection, dfmax int, queries []corpus.Query, reference [][]rank.Result) (keys, stored int, perQuery, overlap float64, err error) {
+	net := overlay.NewNetwork(transport.NewInProc())
+	var nodes []*overlay.Node
+	for i := 0; i < 8; i++ {
+		n, err := net.AddNode(fmt.Sprintf("peer-%d", i))
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		nodes = append(nodes, n)
+	}
+	cfg := core.DefaultConfig(rank.CollectionStats{NumDocs: col.M(), AvgDocLen: col.AvgDocLen()})
+	cfg.DFMax = dfmax
+	cfg.Window = 10
+	eng, err := core.NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for i, part := range col.SplitRoundRobin(len(nodes)) {
+		if _, err := eng.AddPeer(nodes[i], part); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	if err := eng.BuildIndex(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	st := eng.Stats()
+	var fetched uint64
+	var ov float64
+	for i, q := range queries {
+		res, err := eng.Search(q, nodes[i%len(nodes)], 20)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		fetched += res.FetchedPosts
+		ov += rank.Overlap(reference[i], res.Results, 20)
+	}
+	n := float64(len(queries))
+	return st.KeysTotal, st.StoredTotal, float64(fetched) / n, ov / n, nil
+}

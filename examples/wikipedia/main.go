@@ -1,0 +1,36 @@
+// Wikipedia-style evaluation: the paper's Section 5 experiment end to
+// end on a generated collection — growing peer network, distributed
+// single-term baseline vs the HDK engine at two DFmax values, centralized
+// BM25 reference — printing every table and figure series.
+//
+// Pass -scale medium for a longer, closer-to-paper run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "small or medium")
+	flag.Parse()
+
+	scale := experiments.SmallScale()
+	if *scaleName == "medium" {
+		scale = experiments.MediumScale()
+	}
+	res, err := experiments.Run(scale, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range experiments.AllTables(res) {
+		t.Fprint(os.Stdout)
+	}
+	res.WriteSummary(os.Stdout)
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueryKeyCount(t *testing.T) {
+	cases := []struct {
+		q, smax int
+		want    float64
+	}{
+		{1, 3, 1},
+		{2, 3, 3},
+		{3, 3, 7},
+		{4, 3, 4 + 6 + 4},   // C(4,1)+C(4,2)+C(4,3)
+		{8, 3, 8 + 28 + 56}, // the paper's max query size
+		{0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := QueryKeyCount(c.q, c.smax); got != c.want {
+			t.Errorf("QueryKeyCount(%d,%d) = %g, want %g", c.q, c.smax, got, c.want)
+		}
+	}
+}
+
+func TestQueryKeyCountMeanPaperValue(t *testing.T) {
+	// Section 4.2: "the average size of a query is 2.3 in the Wikipedia
+	// query log, and nk ≈ 3.92".
+	got := QueryKeyCountMean(2.3, 3)
+	if math.Abs(got-3.92) > 0.01 {
+		t.Errorf("nk(2.3) = %.3f, paper reports 3.92", got)
+	}
+}
+
+func TestRetrievalBound(t *testing.T) {
+	// Bound = nk * DFmax; at the paper's parameters ~3.92*400 ≈ 1569.
+	got := RetrievalBound(2.3, 3, 400)
+	if math.Abs(got-3.92*400) > 5 {
+		t.Errorf("RetrievalBound = %.0f, want ~%.0f", got, 3.92*400)
+	}
+}
+
+func TestPaperTrafficModelRatios(t *testing.T) {
+	m := PaperTrafficModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "for the whole Wikipedia collection (653,546 documents), the
+	// HDK approach would generate 20 times less traffic ... for 1 billion
+	// documents the ratio is around 42". Our closed-form model lands in
+	// the same bands.
+	atWiki := m.Ratio(653546)
+	if atWiki < 15 || atWiki > 30 {
+		t.Errorf("ratio at full Wikipedia = %.1f, paper reports ~20", atWiki)
+	}
+	atBillion := m.Ratio(1e9)
+	if atBillion < 35 || atBillion > 50 {
+		t.Errorf("ratio at 1e9 docs = %.1f, paper reports ~42", atBillion)
+	}
+	if atBillion <= atWiki {
+		t.Error("ratio must grow with collection size")
+	}
+}
+
+func TestTrafficRatioMonotone(t *testing.T) {
+	m := PaperTrafficModel()
+	prev := 0.0
+	for _, docs := range []float64{1e5, 1e6, 1e7, 1e8, 1e9} {
+		r := m.Ratio(docs)
+		if r <= prev {
+			t.Fatalf("ratio not monotone at %g docs: %g <= %g", docs, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	m := PaperTrafficModel()
+	x := m.Crossover(1e9)
+	// HDK must win well below the full Wikipedia size.
+	if x >= 653546 {
+		t.Fatalf("crossover at %.0f docs, want below full Wikipedia", x)
+	}
+	// At the crossover the totals agree.
+	if d := math.Abs(m.STTotal(x)-m.HDKTotal(x)) / m.STTotal(x); x > 1 && d > 1e-6 {
+		t.Errorf("totals differ by %.2g at crossover", d)
+	}
+	// ST wins below, HDK wins above (when crossover is interior).
+	if x > 2 {
+		if m.STTotal(x/2) > m.HDKTotal(x/2) {
+			t.Error("HDK wrongly wins below crossover")
+		}
+		if m.STTotal(x*2) < m.HDKTotal(x*2) {
+			t.Error("ST wrongly wins above crossover")
+		}
+	}
+}
+
+func TestFig8Series(t *testing.T) {
+	m := PaperTrafficModel()
+	docs := []float64{1e6, 1e8, 1e9}
+	series := m.Fig8Series(docs)
+	if len(series) != 3 {
+		t.Fatalf("series length %d", len(series))
+	}
+	for i, p := range series {
+		if p.Docs != docs[i] || p.ST <= 0 || p.HDK <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// Figure 8's visual: ST is far above HDK at the right edge.
+	last := series[len(series)-1]
+	if last.ST < 10*last.HDK {
+		t.Errorf("at 1e9 docs ST/HDK = %.1f, want >> 10", last.ST/last.HDK)
+	}
+}
+
+func TestValidateRejectsNonPositive(t *testing.T) {
+	m := PaperTrafficModel()
+	m.HDKQueryPostings = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero parameter accepted")
+	}
+}
+
+func TestEstimateIndexSizePaperNumbers(t *testing.T) {
+	// Pf,1 = 0.8 and Pf,2 = 0.257 with w = 20 give the paper's bounds
+	// IS2/D = 12.16 and IS3/D ≈ 11.35.
+	est, err := EstimateIndexSize([]float64{0.8, 0.257}, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RatioBySize[1] != 1 {
+		t.Errorf("IS1/D bound = %g, want 1", est.RatioBySize[1])
+	}
+	if math.Abs(est.RatioBySize[2]-12.16) > 0.01 {
+		t.Errorf("IS2/D bound = %.3f, want 12.16", est.RatioBySize[2])
+	}
+	if math.Abs(est.RatioBySize[3]-11.35) > 0.12 {
+		t.Errorf("IS3/D bound = %.3f, want ~11.35", est.RatioBySize[3])
+	}
+	// Total bound ~24.5x the sample size — the "at most 40.7 times more
+	// indexing traffic than single-term" argument uses the posting ratio;
+	// the IS/D bound must stay within the same order of magnitude.
+	if est.Total < 20 || est.Total > 30 {
+		t.Errorf("total IS/D bound = %.2f, want ~24.5", est.Total)
+	}
+}
+
+func TestEstimateIndexSizeValidation(t *testing.T) {
+	if _, err := EstimateIndexSize([]float64{0.8}, 20, 3); err == nil {
+		t.Error("short pf slice accepted")
+	}
+	// smax = 1 needs no Pf values at all.
+	est, err := EstimateIndexSize(nil, 20, 1)
+	if err != nil {
+		t.Errorf("smax=1 with no pf rejected: %v", err)
+	}
+	if est.Total != 1 {
+		t.Errorf("smax=1 total = %g, want 1", est.Total)
+	}
+}
+
+func TestAdviseDFMax(t *testing.T) {
+	// With nk ≈ 3.92, a 1568-posting budget advises DFmax = 400 — the
+	// paper's own operating point.
+	got := AdviseDFMax(1568, 2.3, 3)
+	if got < 395 || got > 405 {
+		t.Errorf("AdviseDFMax(1568) = %d, want ~400", got)
+	}
+	if AdviseDFMax(1, 2.3, 3) != 1 {
+		t.Error("tiny budget must floor at 1")
+	}
+	if AdviseDFMax(100, 0, 3) != 0 {
+		t.Error("zero query size must yield 0")
+	}
+	// The advised DFmax respects the budget.
+	df := AdviseDFMax(2000, 3, 3)
+	if bound := RetrievalBound(3, 3, df); bound > 2000+7 {
+		t.Errorf("advised DFmax %d exceeds budget: bound %.0f", df, bound)
+	}
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/rank"
+)
+
+// conjunctiveDocs brute-forces the conjunctive answer set.
+func conjunctiveDocs(col *corpus.Collection, q corpus.Query) map[corpus.DocID]bool {
+	out := map[corpus.DocID]bool{}
+	for i := range col.Docs {
+		need := map[corpus.TermID]bool{}
+		for _, t := range q.Terms {
+			need[t] = true
+		}
+		for _, t := range col.Docs[i].Terms {
+			delete(need, t)
+		}
+		if len(need) == 0 {
+			out[col.Docs[i].ID] = true
+		}
+	}
+	return out
+}
+
+func TestSearchBloomExactness(t *testing.T) {
+	col := genCollection(t, 150)
+	st, net := buildSTEngine(t, col, 4)
+	nodes := net.Nodes()
+	qp := corpus.DefaultQueryParams(20)
+	qp.MinHits = 1
+	cen := NewCentralized(col, rank.DefaultBM25())
+	queries, err := corpus.GenerateQueries(col, qp, 20, cen.ConjunctiveHits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want := conjunctiveDocs(col, q)
+		res, _, err := st.SearchBloom(q, nodes[i%4], col.M())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(want) {
+			t.Fatalf("query %d (%v): bloom returned %d docs, brute force %d", i, q.Terms, len(res), len(want))
+		}
+		for _, r := range res {
+			if !want[r.Doc] {
+				t.Fatalf("query %d: doc %d is a false positive", i, r.Doc)
+			}
+		}
+	}
+}
+
+func TestSearchBloomMatchesConjunctive(t *testing.T) {
+	col := genCollection(t, 120)
+	st, net := buildSTEngine(t, col, 4)
+	nodes := net.Nodes()
+	qp := corpus.DefaultQueryParams(15)
+	qp.MinHits = 1
+	cen := NewCentralized(col, rank.DefaultBM25())
+	queries, err := corpus.GenerateQueries(col, qp, 20, cen.ConjunctiveHits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		plain, _, err := st.SearchConjunctive(q, nodes[i%4], 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blm, _, err := st.SearchBloom(q, nodes[i%4], 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain) != len(blm) {
+			t.Fatalf("query %d: %d vs %d results", i, len(plain), len(blm))
+		}
+		for j := range plain {
+			if plain[j].Doc != blm[j].Doc {
+				t.Fatalf("query %d rank %d: doc %d vs %d", i, j, plain[j].Doc, blm[j].Doc)
+			}
+			if d := plain[j].Score - blm[j].Score; d > 1e-3 || d < -1e-3 {
+				t.Fatalf("query %d rank %d: score %g vs %g", i, j, plain[j].Score, blm[j].Score)
+			}
+		}
+	}
+}
+
+// selectiveCollection builds the case the Bloom optimization targets:
+// two terms with long posting lists but a small intersection (a filter of
+// one list is far smaller than the list, and the intersection result is
+// tiny). Term 0 occurs in the first half of the documents, term 1 in the
+// second half, and both in the first `overlap` documents; term 2 pads
+// every document so lists stay sorted/realistic.
+func selectiveCollection(docs, overlap int) *corpus.Collection {
+	col := &corpus.Collection{Vocab: []string{"alpha0", "beta1", "pad2"}}
+	for i := 0; i < docs; i++ {
+		var terms []corpus.TermID
+		if i < docs/2 || i < overlap {
+			terms = append(terms, 0)
+		}
+		if i >= docs/2 || i < overlap {
+			terms = append(terms, 1)
+		}
+		terms = append(terms, 2)
+		col.Docs = append(col.Docs, corpus.Document{ID: corpus.DocID(i), Terms: terms})
+	}
+	return col
+}
+
+func TestSearchBloomSavesBytesOnSelectiveQuery(t *testing.T) {
+	col := selectiveCollection(600, 10)
+	st, net := buildSTEngine(t, col, 4)
+	q := corpus.Query{Terms: []corpus.TermID{0, 1}}
+	node := net.Nodes()[0]
+	plain, plainBytes, err := st.SearchConjunctive(q, node, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blm, bloomBytes, err := st.SearchBloom(q, node, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 10 || len(blm) != 10 {
+		t.Fatalf("expected 10 conjunctive hits, got plain=%d bloom=%d", len(plain), len(blm))
+	}
+	if bloomBytes >= plainBytes {
+		t.Fatalf("bloom protocol used %d bytes >= plain %d on a selective query", bloomBytes, plainBytes)
+	}
+}
+
+func TestSearchBloomSingleTermFallsBack(t *testing.T) {
+	col := genCollection(t, 80)
+	st, net := buildSTEngine(t, col, 4)
+	q := corpus.Query{Terms: []corpus.TermID{col.Docs[0].Terms[0]}}
+	res, _, err := st.SearchBloom(q, net.Nodes()[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := conjunctiveDocs(col, q)
+	if len(res) == 0 || len(res) > len(want) {
+		t.Fatalf("single-term fallback returned %d docs, universe %d", len(res), len(want))
+	}
+}
+
+func TestSearchBloomTrafficStillGrows(t *testing.T) {
+	// Zhang & Suel's point, reproduced: Bloom filters shrink conjunctive
+	// traffic but it still grows with the collection — unlike HDK.
+	bytesAt := func(docs int) uint64 {
+		col := genCollection(t, docs)
+		st, net := buildSTEngine(t, col, 4)
+		dfs := col.DocumentFrequencies()
+		best, second := 0, 1
+		for id, df := range dfs {
+			if df > dfs[best] {
+				second, best = best, id
+			} else if id != best && df > dfs[second] {
+				second = id
+			}
+		}
+		q := corpus.Query{Terms: []corpus.TermID{corpus.TermID(best), corpus.TermID(second)}}
+		_, b, err := st.SearchBloom(q, net.Nodes()[0], 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	small, large := bytesAt(100), bytesAt(500)
+	if large <= small {
+		t.Fatalf("bloom traffic did not grow with the collection: %d -> %d bytes", small, large)
+	}
+}

@@ -1,0 +1,180 @@
+// Package bloom implements Bloom filters, the posting-list intersection
+// optimization the paper's related work leans on: Reynolds & Vahdat
+// (Middleware'03) and ODISSEA propose shipping Bloom filters of posting
+// lists instead of the lists themselves, and Zhang & Suel (P2P'05) show
+// that even so optimized, distributed single-term indexing does not scale
+// — the claim the HDK design answers. The Bloom-assisted baseline in
+// internal/baseline uses this package; the repository's benches reproduce
+// the comparison.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a classical Bloom filter with double hashing (Kirsch-
+// Mitzenmacher): k indexes derived from two FNV-64 halves.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint32 // number of hash functions
+	n    uint64 // elements added
+}
+
+// New creates a filter with m bits (rounded up to a multiple of 64) and k
+// hash functions.
+func New(m uint64, k uint32) (*Filter, error) {
+	if m == 0 || k == 0 {
+		return nil, fmt.Errorf("bloom: m and k must be positive, got m=%d k=%d", m, k)
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}, nil
+}
+
+// NewForCapacity sizes the filter for n expected elements at the given
+// false-positive rate, using the standard optimal m = -n·ln(p)/ln(2)² and
+// k = m/n·ln(2).
+func NewForCapacity(n uint64, fpRate float64) (*Filter, error) {
+	if n == 0 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("bloom: false-positive rate must be in (0,1), got %g", fpRate)
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	k := uint32(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// hashes derives the two base hashes for double hashing. The stride is
+// forced odd so it is coprime with the filter size (a multiple of 64);
+// an even stride would trap the probe sequence in a fraction of the
+// slots and inflate the false-positive rate.
+func hashes(key []byte) (uint64, uint64) {
+	h := fnv.New128a()
+	h.Write(key)
+	sum := h.Sum(nil)
+	// FNV avalanches poorly on short sequential keys (doc ids); a
+	// murmur3-style finalizer on each half restores bit diffusion.
+	h1 := fmix64(binary.BigEndian.Uint64(sum[:8]))
+	h2 := fmix64(binary.BigEndian.Uint64(sum[8:]))
+	return h1, h2 | 1
+}
+
+// fmix64 is the murmur3 64-bit finalizer.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key []byte) {
+	h1, h2 := hashes(key)
+	for i := uint32(0); i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// AddUint32 inserts a 32-bit key (document ids) without allocating.
+func (f *Filter) AddUint32(v uint32) {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	f.Add(buf[:])
+}
+
+// Test reports whether the key may be present (false positives possible,
+// false negatives impossible).
+func (f *Filter) Test(key []byte) bool {
+	h1, h2 := hashes(key)
+	for i := uint32(0); i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestUint32 tests a 32-bit key.
+func (f *Filter) TestUint32(v uint32) bool {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return f.Test(buf[:])
+}
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// SizeBytes returns the wire size of the encoded filter.
+func (f *Filter) SizeBytes() int { return len(Encode(nil, f)) }
+
+// EstimatedFPRate returns the expected false-positive probability at the
+// current fill: (1 - e^(-kn/m))^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// ErrCorrupt is returned by Decode on malformed input.
+var ErrCorrupt = errors.New("bloom: corrupt encoding")
+
+// Encode serializes the filter: uvarint m, k, n, then the bit words
+// little-endian.
+func Encode(buf []byte, f *Filter) []byte {
+	buf = binary.AppendUvarint(buf, f.m)
+	buf = binary.AppendUvarint(buf, uint64(f.k))
+	buf = binary.AppendUvarint(buf, f.n)
+	for _, w := range f.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// Decode parses an encoded filter.
+func Decode(buf []byte) (*Filter, error) {
+	m, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	off := sz
+	k64, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 || k64 == 0 || k64 > math.MaxUint32 {
+		return nil, ErrCorrupt
+	}
+	off += sz
+	n, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	off += sz
+	if m == 0 || m%64 != 0 {
+		return nil, ErrCorrupt
+	}
+	words := int(m / 64)
+	if len(buf)-off < words*8 {
+		return nil, ErrCorrupt
+	}
+	f := &Filter{bits: make([]uint64, words), m: m, k: uint32(k64), n: n}
+	for i := 0; i < words; i++ {
+		f.bits[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+	}
+	return f, nil
+}

@@ -1,0 +1,171 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := NewForCapacity(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		f.AddUint32(i)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if !f.TestUint32(i) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n, target = 5000, 0.01
+	f, err := NewForCapacity(n, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < n; i++ {
+		f.AddUint32(i)
+	}
+	fp := 0
+	const probes = 100000
+	for i := uint32(n); i < n+probes; i++ {
+		if f.TestUint32(i) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 3*target {
+		t.Fatalf("fp rate %.4f exceeds 3x target %.2f", rate, target)
+	}
+	if est := f.EstimatedFPRate(); est > 2*target {
+		t.Errorf("estimated fp rate %.4f too far above target", est)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 50; iter++ {
+		n := uint64(r.Intn(500) + 1)
+		f, err := NewForCapacity(n, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = r.Uint32()
+			f.AddUint32(keys[i])
+		}
+		g, err := Decode(Encode(nil, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Bits() != f.Bits() || g.Count() != f.Count() {
+			t.Fatalf("metadata mismatch: %d/%d vs %d/%d", g.Bits(), g.Count(), f.Bits(), f.Count())
+		}
+		for _, k := range keys {
+			if !g.TestUint32(k) {
+				t.Fatalf("decoded filter lost key %d", k)
+			}
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0x40},             // m=64, missing k
+		{0x40, 0x01},       // missing n
+		{0x40, 0x01, 0x00}, // missing bit words
+		{0x03, 0x01, 0x00}, // m not multiple of 64
+		{0x40, 0x00, 0x00}, // k = 0
+	}
+	for i, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("case %d: corrupt filter accepted", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(64, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewForCapacity(10, 0); err == nil {
+		t.Error("fp=0 accepted")
+	}
+	if _, err := NewForCapacity(10, 1); err == nil {
+		t.Error("fp=1 accepted")
+	}
+	if f, err := NewForCapacity(0, 0.01); err != nil || f == nil {
+		t.Error("n=0 must still build a filter")
+	}
+}
+
+func TestAddedAlwaysFound(t *testing.T) {
+	prop := func(keys []uint32) bool {
+		f, err := NewForCapacity(uint64(len(keys)+1), 0.01)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			f.AddUint32(k)
+		}
+		for _, k := range keys {
+			if !f.TestUint32(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeSmallerThanList(t *testing.T) {
+	// The whole point of the optimization: a 1%-fp filter of n doc ids is
+	// much smaller than n encoded postings (~9 bytes each).
+	const n = 10000
+	f, _ := NewForCapacity(n, 0.01)
+	for i := uint32(0); i < n; i++ {
+		f.AddUint32(i)
+	}
+	if got, limit := f.SizeBytes(), n*9/4; got > limit {
+		t.Errorf("filter of %d ids is %d bytes, want < %d", n, got, limit)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f, _ := NewForCapacity(uint64(b.N)+1, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.AddUint32(uint32(i))
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f, _ := NewForCapacity(100000, 0.01)
+	for i := uint32(0); i < 100000; i++ {
+		f.AddUint32(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TestUint32(uint32(i))
+	}
+}
+
+func ExampleFilter() {
+	f, _ := NewForCapacity(3, 0.01)
+	f.Add([]byte("retrieval"))
+	fmt.Println(f.Test([]byte("retrieval")), f.Test([]byte("absent-key-xyz")))
+	// Output: true false
+}

@@ -1,0 +1,109 @@
+// Package cache provides a small LRU used for query-side posting-list
+// caching — one of the retrieval-cost mitigations the paper's related
+// work proposes for distributed indexes ("top-k posting list joins,
+// Bloom filters, and caching as promising techniques to reduce search
+// costs"). The HDK engine offers it as an opt-in: cached keys answer
+// repeat queries with zero network postings.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used map from string keys to
+// values. Safe for concurrent use.
+type LRU[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewLRU creates a cache holding at most capacity entries. A capacity
+// <= 0 yields a cache that stores nothing (all lookups miss), which lets
+// callers disable caching without branching.
+func NewLRU[V any](capacity int) *LRU[V] {
+	return &LRU[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and whether it was present.
+func (c *LRU[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entry when over capacity.
+func (c *LRU[V]) Put(key string, val V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// Invalidate removes a key (used when the index changes under the
+// cache, e.g. after incremental document insertion).
+func (c *LRU[V]) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Clear drops every entry.
+func (c *LRU[V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len returns the number of resident entries.
+func (c *LRU[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *LRU[V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

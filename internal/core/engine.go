@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/postings"
+	"repro/internal/rank"
+)
+
+// Engine coordinates the HDK engine over an overlay network: it owns the
+// configuration, the per-node index stores, the participating peers and
+// the traffic accounting. The round-synchronous BuildIndex drives the
+// paper's iterative collaborative indexing; Search implements the
+// lattice-based retrieval model.
+type Engine struct {
+	net    overlay.Fabric
+	cfg    Config
+	vocab  []string
+	termID map[string]corpus.TermID
+	vf     []bool // very frequent terms (f_D > Ff), excluded from keys
+
+	peers       []*Peer
+	stores      map[overlay.ID]*hdkStore
+	concurrency int // peers indexed in parallel per round (see SetConcurrency)
+
+	// queryCache, when enabled, holds fetch responses at the querying
+	// side — the caching mitigation the related work proposes. Repeat
+	// probes for the same key cost zero network postings.
+	queryCache *cache.LRU[cachedFetch]
+
+	traffic Traffic
+}
+
+// cachedFetch is a memoized fetch response.
+type cachedFetch struct {
+	status KeyStatus
+	list   postings.List
+}
+
+// EnableQueryCache turns on query-side caching of fetch responses with
+// the given capacity (number of keys). Capacity <= 0 disables caching.
+// Call InvalidateQueryCache after the index changes.
+func (e *Engine) EnableQueryCache(capacity int) {
+	e.queryCache = cache.NewLRU[cachedFetch](capacity)
+}
+
+// InvalidateQueryCache drops all cached fetch responses.
+func (e *Engine) InvalidateQueryCache() {
+	if e.queryCache != nil {
+		e.queryCache.Clear()
+	}
+}
+
+// QueryCacheStats returns hit/miss counters (zeros when disabled).
+func (e *Engine) QueryCacheStats() (hits, misses uint64) {
+	if e.queryCache == nil {
+		return 0, 0
+	}
+	return e.queryCache.Stats()
+}
+
+// Traffic aggregates the paper's posting/message counters. InsertedBySize
+// feeds Figure 5 (IS_s); Fetched feeds Figure 6.
+type Traffic struct {
+	InsertedBySize [MaxKeySize + 1]atomic.Uint64 // postings shipped into the index, per key size
+	FetchedPosts   atomic.Uint64                 // postings shipped to querying peers
+	NotifyMessages atomic.Uint64                 // NDK expansion notifications sent
+	ProbeMessages  atomic.Uint64                 // retrieval lattice probes issued
+}
+
+// TrafficSnapshot is a point-in-time copy of the counters.
+type TrafficSnapshot struct {
+	InsertedBySize [MaxKeySize + 1]uint64
+	InsertedTotal  uint64
+	FetchedPosts   uint64
+	NotifyMessages uint64
+	ProbeMessages  uint64
+}
+
+// Snapshot copies the counters.
+func (t *Traffic) Snapshot() TrafficSnapshot {
+	var s TrafficSnapshot
+	for i := range t.InsertedBySize {
+		s.InsertedBySize[i] = t.InsertedBySize[i].Load()
+		s.InsertedTotal += s.InsertedBySize[i]
+	}
+	s.FetchedPosts = t.FetchedPosts.Load()
+	s.NotifyMessages = t.NotifyMessages.Load()
+	s.ProbeMessages = t.ProbeMessages.Load()
+	return s
+}
+
+// NewEngine wires an HDK engine onto an overlay. vocab maps term ids to
+// term strings; termFreqs are the global collection frequencies used to
+// apply the Ff very-frequent-term cutoff (the paper's adaptive stop list —
+// global statistics the prototype lineage distributes via the overlay).
+func NewEngine(net overlay.Fabric, cfg Config, vocab []string, termFreqs []int) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(termFreqs) != len(vocab) {
+		return nil, fmt.Errorf("core: termFreqs (%d) and vocab (%d) lengths differ", len(termFreqs), len(vocab))
+	}
+	e := &Engine{
+		net:    net,
+		cfg:    cfg,
+		vocab:  vocab,
+		termID: make(map[string]corpus.TermID, len(vocab)),
+		vf:     make([]bool, len(vocab)),
+		stores: make(map[overlay.ID]*hdkStore),
+	}
+	for i, s := range vocab {
+		e.termID[s] = corpus.TermID(i)
+	}
+	for i, f := range termFreqs {
+		e.vf[i] = f > cfg.Ff
+	}
+	for _, node := range net.Members() {
+		e.attachStore(node)
+	}
+	return e, nil
+}
+
+// attachStore registers the index services on an overlay node.
+func (e *Engine) attachStore(node overlay.Member) {
+	store := newHDKStore(&e.cfg)
+	e.stores[node.ID()] = store
+	node.Handle(svcInsert, func(req []byte) ([]byte, error) {
+		contributor, batch, err := decodeInsertReq(req)
+		if err != nil {
+			return nil, err
+		}
+		// The response reports, for keys already classified, their
+		// global status: new contributors of existing NDKs must learn
+		// the classification to drive their expansions.
+		var classified []postings.KeyedMessage
+		for _, m := range batch {
+			status, isClassified := store.insert(m.Key, int(m.Aux), m.List, contributor)
+			if isClassified {
+				classified = append(classified, postings.KeyedMessage{Key: m.Key, Aux: uint64(status)})
+			}
+		}
+		return postings.EncodeKeyedBatch(nil, classified), nil
+	})
+	node.Handle(svcFetch, func(req []byte) ([]byte, error) {
+		key := string(req)
+		status, df, list := store.fetch(key)
+		return encodeFetchResp(key, status, df, list), nil
+	})
+}
+
+// AddPeer registers a peer owning the given local collection on an
+// existing overlay node.
+func (e *Engine) AddPeer(node overlay.Member, local *corpus.Collection) (*Peer, error) {
+	if _, ok := e.stores[node.ID()]; !ok {
+		// Node joined after engine construction (the churn scenario).
+		e.attachStore(node)
+	}
+	p := newPeer(e, node, local)
+	e.peers = append(e.peers, p)
+	return p, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Network returns the overlay fabric the engine runs on.
+func (e *Engine) Network() overlay.Fabric { return e.net }
+
+// Traffic returns the engine's traffic counters.
+func (e *Engine) Traffic() *Traffic { return &e.traffic }
+
+// VeryFrequent reports whether a term is excluded by the Ff cutoff.
+func (e *Engine) VeryFrequent(t corpus.TermID) bool { return e.vf[t] }
+
+// BuildIndex runs the iterative collaborative indexing: for each key size
+// s = 1..smax every peer computes and inserts its local candidates, then
+// the index nodes classify the round's keys and notify the contributors
+// of newly non-discriminative keys, which drives the next round's key
+// expansion.
+func (e *Engine) BuildIndex() error {
+	for s := 1; s <= e.cfg.SMax; s++ {
+		if err := e.runRound(s); err != nil {
+			return fmt.Errorf("core: round %d: %w", s, err)
+		}
+	}
+	e.finishRounds()
+	return nil
+}
+
+// finishRounds resets per-peer freshness state and advances document
+// watermarks after a completed build or update.
+func (e *Engine) finishRounds() {
+	for _, p := range e.peers {
+		for s := 1; s <= MaxKeySize; s++ {
+			p.consumeFresh(s)
+		}
+		p.advanceWatermark()
+	}
+	e.InvalidateQueryCache()
+}
+
+// UpdateIndex incrementally indexes the documents staged via
+// Peer.AddDocuments since the last BuildIndex/UpdateIndex: existing keys
+// receive postings from the new documents only; keys whose generation
+// was unlocked by freshly non-discriminative sub-keys (including HDKs
+// that the new documents pushed over DFmax — the paper's maintenance
+// notification rule) are built from every local document. The resulting
+// global index is identical to a from-scratch build over the grown
+// collection.
+func (e *Engine) UpdateIndex() error {
+	for s := 1; s <= e.cfg.SMax; s++ {
+		for _, p := range e.peers {
+			cands := p.generateUpdate(s)
+			n, err := p.insertAll(cands, s)
+			if err != nil {
+				return fmt.Errorf("core: update round %d: %w", s, err)
+			}
+			e.traffic.InsertedBySize[s].Add(n)
+		}
+		// Freshness of size s-1 has been consumed by this round's
+		// generation; clear it so the next update starts clean.
+		for _, p := range e.peers {
+			p.consumeFresh(s - 1)
+		}
+		if err := e.classifyAndNotify(s); err != nil {
+			return fmt.Errorf("core: update round %d: %w", s, err)
+		}
+	}
+	e.finishRounds()
+	return nil
+}
+
+// SetConcurrency sets how many peers index in parallel within a round
+// (default 1, fully serial). The final index is identical at any level:
+// documents are disjoint across peers, so every store merge commutes.
+func (e *Engine) SetConcurrency(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.concurrency = n
+}
+
+func (e *Engine) runRound(s int) error {
+	workers := e.concurrency
+	if workers <= 1 {
+		for _, p := range e.peers {
+			if err := e.indexPeerRound(p, s); err != nil {
+				return err
+			}
+		}
+		return e.classifyAndNotify(s)
+	}
+	sem := make(chan struct{}, workers)
+	errCh := make(chan error, len(e.peers))
+	for _, p := range e.peers {
+		sem <- struct{}{}
+		go func(p *Peer) {
+			defer func() { <-sem }()
+			errCh <- e.indexPeerRound(p, s)
+		}(p)
+	}
+	var firstErr error
+	for range e.peers {
+		if err := <-errCh; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return e.classifyAndNotify(s)
+}
+
+func (e *Engine) indexPeerRound(p *Peer, s int) error {
+	cands := p.generate(s)
+	n, err := p.insertAll(cands, s)
+	if err != nil {
+		return err
+	}
+	e.traffic.InsertedBySize[s].Add(n)
+	return nil
+}
+
+// classifyAndNotify sweeps every store, truncates NDK posting lists and
+// sends expansion notifications to contributing peers (batched per peer,
+// one message per store/peer pair).
+func (e *Engine) classifyAndNotify(s int) error {
+	// Deterministic store order.
+	ids := make([]overlay.ID, 0, len(e.stores))
+	for id := range e.stores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		notify := e.stores[id].classifySweep(s)
+		// Group keys by contributor address.
+		byAddr := make(map[string][]string)
+		for key, addrs := range notify {
+			for _, a := range addrs {
+				byAddr[a] = append(byAddr[a], key)
+			}
+		}
+		addrs := make([]string, 0, len(byAddr))
+		for a := range byAddr {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		for _, addr := range addrs {
+			keys := byAddr[addr]
+			sort.Strings(keys)
+			batch := make([]postings.KeyedMessage, len(keys))
+			for i, k := range keys {
+				batch[i] = postings.KeyedMessage{Key: k}
+			}
+			payload := postings.EncodeKeyedBatch(nil, batch)
+			if _, err := e.net.CallService(addr, svcNotify, payload); err != nil {
+				return fmt.Errorf("core: notify %s: %w", addr, err)
+			}
+			e.traffic.NotifyMessages.Add(uint64(len(keys)))
+		}
+	}
+	return nil
+}
+
+// SearchResult carries a ranked answer plus the per-query cost metrics of
+// Figure 6.
+type SearchResult struct {
+	Results      []rank.Result
+	FetchedPosts uint64 // postings shipped for this query
+	ProbedKeys   int    // lattice subsets probed
+	FoundKeys    int    // subsets present in the index (HDK or NDK)
+}
+
+// Search maps the query onto the lattice of its term subsets, probes the
+// global index bottom-up with subsumption pruning (supersets of HDKs are
+// never stored; supersets of absent keys cannot exist), fetches the
+// bounded posting lists of all found keys, unions them and ranks.
+func (e *Engine) Search(q corpus.Query, from overlay.Member, k int) (*SearchResult, error) {
+	res := &SearchResult{}
+	maxSize := e.cfg.SMax
+	if len(q.Terms) < maxSize {
+		maxSize = len(q.Terms)
+	}
+	// Deduplicate query terms, drop very frequent ones (they are not in
+	// the key vocabulary, exactly like the single-term stop-word case).
+	terms := dedupTerms(q.Terms)
+	usable := terms[:0:0]
+	for _, t := range terms {
+		if int(t) < len(e.vf) && !e.vf[t] {
+			usable = append(usable, t)
+		}
+	}
+	status := make(map[Key]KeyStatus)
+	var acc postings.List
+	var subsets func(start int, cur []corpus.TermID, size int)
+	var probeErr error
+	probe := func(key Key) {
+		canonical := key.CanonicalString(e.vocab)
+		if e.queryCache != nil {
+			if hit, ok := e.queryCache.Get(canonical); ok {
+				res.ProbedKeys++
+				status[key] = hit.status
+				if hit.status != StatusAbsent {
+					res.FoundKeys++
+					acc = postings.Union(acc, hit.list)
+				}
+				return
+			}
+		}
+		owner, _, err := e.net.Route(from, canonical)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		raw, err := e.net.CallService(owner.Addr(), svcFetch, []byte(canonical))
+		if err != nil {
+			probeErr = err
+			return
+		}
+		st, _, list, err := decodeFetchResp(raw)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		res.ProbedKeys++
+		status[key] = st
+		if e.queryCache != nil {
+			e.queryCache.Put(canonical, cachedFetch{status: st, list: list})
+		}
+		if st == StatusAbsent {
+			return
+		}
+		res.FoundKeys++
+		res.FetchedPosts += uint64(len(list))
+		acc = postings.Union(acc, list)
+	}
+	for size := 1; size <= maxSize && probeErr == nil; size++ {
+		subsets = func(start int, cur []corpus.TermID, want int) {
+			if probeErr != nil {
+				return
+			}
+			if len(cur) == want {
+				key := NewKey(cur...)
+				if want > 1 && !e.allSubkeysNDStatus(key, status) {
+					return // subsumption pruning
+				}
+				probe(key)
+				return
+			}
+			for i := start; i < len(usable); i++ {
+				subsets(i+1, append(cur, usable[i]), want)
+			}
+		}
+		subsets(0, nil, size)
+	}
+	if probeErr != nil {
+		return nil, probeErr
+	}
+	e.traffic.FetchedPosts.Add(res.FetchedPosts)
+	e.traffic.ProbeMessages.Add(uint64(res.ProbedKeys))
+	res.Results = rank.TopKByScore(acc, k)
+	return res, nil
+}
+
+// allSubkeysNDStatus prunes the retrieval lattice: a key can only be
+// stored if every immediate sub-key is non-discriminative (an HDK sub-key
+// means redundancy filtering dropped the superset; an absent sub-key means
+// the superset cannot occur).
+func (e *Engine) allSubkeysNDStatus(key Key, status map[Key]KeyStatus) bool {
+	ok := true
+	key.Subkeys(func(sub Key) {
+		if status[sub] != StatusNDK {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func dedupTerms(ts []corpus.TermID) []corpus.TermID {
+	seen := make(map[corpus.TermID]struct{}, len(ts))
+	out := make([]corpus.TermID, 0, len(ts))
+	for _, t := range ts {
+		if _, ok := seen[t]; !ok {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IndexStats aggregates the global index state for the Figures 3-5
+// experiments.
+type IndexStats struct {
+	StoredBySize [MaxKeySize + 1]int // resident postings per key size
+	KeysBySize   [MaxKeySize + 1]int // distinct keys per key size
+	StoredTotal  int
+	KeysTotal    int
+	PerNode      map[overlay.ID]int // resident postings per overlay node
+}
+
+// Stats scans the stores and aggregates index statistics.
+func (e *Engine) Stats() IndexStats {
+	st := IndexStats{PerNode: make(map[overlay.ID]int, len(e.stores))}
+	for id, store := range e.stores {
+		posts, keys := store.storedBySize(MaxKeySize)
+		nodeTotal := 0
+		for s := 0; s <= MaxKeySize; s++ {
+			st.StoredBySize[s] += posts[s]
+			st.KeysBySize[s] += keys[s]
+			st.StoredTotal += posts[s]
+			st.KeysTotal += keys[s]
+			nodeTotal += posts[s]
+		}
+		st.PerNode[id] = nodeTotal
+	}
+	return st
+}
+
+// KeyInfo exposes one key's global classification for tests and tools.
+func (e *Engine) KeyInfo(k Key) (KeyStatus, int, postings.List) {
+	canonical := k.CanonicalString(e.vocab)
+	owner, ok := e.net.OwnerOf(canonical)
+	if !ok {
+		return StatusAbsent, 0, nil
+	}
+	store, ok := e.stores[owner.ID()]
+	if !ok {
+		return StatusAbsent, 0, nil
+	}
+	return store.fetch(canonical)
+}

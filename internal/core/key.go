@@ -1,0 +1,159 @@
+// Package core implements the paper's contribution: indexing and
+// retrieval with Highly Discriminative Keys (HDKs) over a structured P2P
+// overlay.
+//
+// A key is a set of terms (size filtering caps it at smax) whose terms
+// co-occur in a document window of size w (proximity filtering) and whose
+// global document frequency is at most DFmax while every proper sub-key's
+// is above DFmax (redundancy filtering: only intrinsically discriminative
+// keys are stored with full posting lists). Non-discriminative keys (NDKs)
+// are kept with top-DFmax truncated posting lists. Queries are mapped onto
+// the lattice of their term subsets; found keys' bounded posting lists are
+// fetched, unioned and ranked — so per-query traffic is bounded by
+// nk·DFmax independent of collection size.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+// MaxKeySize is the largest key size the packed representation supports.
+// The paper uses smax = 3; the average web query has 2-3 terms, so keys
+// beyond 4 terms have no retrieval value.
+const MaxKeySize = 4
+
+// noTerm marks unused slots in the packed key.
+const noTerm = ^corpus.TermID(0)
+
+// Key is a set of at most MaxKeySize terms in ascending TermID order,
+// packed into a comparable value so it can be used as a map key with no
+// allocation on the hot candidate-generation path.
+type Key struct {
+	t [MaxKeySize]corpus.TermID
+	n uint8
+}
+
+// NewKey builds a key from term ids, sorting and de-duplicating.
+// It panics if more than MaxKeySize distinct terms are supplied — key
+// sizes are bounded by construction everywhere in the engine.
+func NewKey(terms ...corpus.TermID) Key {
+	var k Key
+	for i := range k.t {
+		k.t[i] = noTerm
+	}
+	sorted := append([]corpus.TermID(nil), terms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, t := range sorted {
+		if i > 0 && t == sorted[i-1] {
+			continue
+		}
+		if int(k.n) >= MaxKeySize {
+			panic(fmt.Sprintf("core: key larger than %d terms", MaxKeySize))
+		}
+		k.t[k.n] = t
+		k.n++
+	}
+	return k
+}
+
+// Size returns the number of terms in the key.
+func (k Key) Size() int { return int(k.n) }
+
+// Terms returns the term ids in ascending order.
+func (k Key) Terms() []corpus.TermID {
+	out := make([]corpus.TermID, k.n)
+	copy(out, k.t[:k.n])
+	return out
+}
+
+// Term returns the i-th term.
+func (k Key) Term(i int) corpus.TermID { return k.t[i] }
+
+// Contains reports whether the key includes term t.
+func (k Key) Contains(t corpus.TermID) bool {
+	for i := 0; i < int(k.n); i++ {
+		if k.t[i] == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Extend returns k ∪ {t}. It panics on overflow or duplicate, which the
+// candidate generator rules out beforehand.
+func (k Key) Extend(t corpus.TermID) Key {
+	if k.Contains(t) {
+		panic("core: Extend with duplicate term")
+	}
+	terms := append(k.Terms(), t)
+	return NewKey(terms...)
+}
+
+// Drop returns the key without its i-th term (a size-(n-1) sub-key).
+func (k Key) Drop(i int) Key {
+	terms := k.Terms()
+	terms = append(terms[:i], terms[i+1:]...)
+	return NewKey(terms...)
+}
+
+// Subkeys invokes fn for every proper sub-key of size n-1. For n == 1 it
+// does nothing.
+func (k Key) Subkeys(fn func(Key)) {
+	if k.n <= 1 {
+		return
+	}
+	for i := 0; i < int(k.n); i++ {
+		fn(k.Drop(i))
+	}
+}
+
+// IsSubsetOf reports whether every term of k appears in other.
+func (k Key) IsSubsetOf(other Key) bool {
+	if k.n > other.n {
+		return false
+	}
+	j := 0
+	for i := 0; i < int(k.n); i++ {
+		for j < int(other.n) && other.t[j] < k.t[i] {
+			j++
+		}
+		if j >= int(other.n) || other.t[j] != k.t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// keySeparator joins term strings in the canonical wire form. The unit
+// separator cannot appear in tokenizer output.
+const keySeparator = "\x1f"
+
+// CanonicalString renders the key in its DHT wire form using the
+// collection vocabulary: term strings in ascending TermID order joined by
+// the unit separator.
+func (k Key) CanonicalString(vocab []string) string {
+	switch k.n {
+	case 0:
+		return ""
+	case 1:
+		return vocab[k.t[0]]
+	}
+	parts := make([]string, k.n)
+	for i := 0; i < int(k.n); i++ {
+		parts[i] = vocab[k.t[i]]
+	}
+	return strings.Join(parts, keySeparator)
+}
+
+// DisplayString renders the key human-readably ("term1+term2").
+func (k Key) DisplayString(vocab []string) string {
+	parts := make([]string, k.n)
+	for i := 0; i < int(k.n); i++ {
+		parts[i] = vocab[k.t[i]]
+	}
+	return strings.Join(parts, "+")
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+func TestNewKeySortsAndDedups(t *testing.T) {
+	k := NewKey(5, 1, 3, 1)
+	if k.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", k.Size())
+	}
+	if got := k.Terms(); !reflect.DeepEqual(got, []corpus.TermID{1, 3, 5}) {
+		t.Fatalf("Terms = %v", got)
+	}
+}
+
+func TestKeyComparable(t *testing.T) {
+	if NewKey(2, 1) != NewKey(1, 2) {
+		t.Fatal("order-insensitive equality broken")
+	}
+	if NewKey(1, 2) == NewKey(1, 3) {
+		t.Fatal("distinct keys equal")
+	}
+	m := map[Key]int{NewKey(7, 3): 1}
+	if m[NewKey(3, 7)] != 1 {
+		t.Fatal("map lookup by equivalent key failed")
+	}
+}
+
+func TestKeyContains(t *testing.T) {
+	k := NewKey(1, 5, 9)
+	for _, tt := range []corpus.TermID{1, 5, 9} {
+		if !k.Contains(tt) {
+			t.Errorf("Contains(%d) = false", tt)
+		}
+	}
+	if k.Contains(2) {
+		t.Error("Contains(2) = true")
+	}
+}
+
+func TestKeyExtendDrop(t *testing.T) {
+	k := NewKey(1, 5)
+	e := k.Extend(3)
+	if got := e.Terms(); !reflect.DeepEqual(got, []corpus.TermID{1, 3, 5}) {
+		t.Fatalf("Extend = %v", got)
+	}
+	if got := e.Drop(1).Terms(); !reflect.DeepEqual(got, []corpus.TermID{1, 5}) {
+		t.Fatalf("Drop = %v", got)
+	}
+}
+
+func TestKeyExtendDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate Extend")
+		}
+	}()
+	NewKey(1).Extend(1)
+}
+
+func TestKeyOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on oversized key")
+		}
+	}()
+	NewKey(1, 2, 3, 4, 5)
+}
+
+func TestSubkeys(t *testing.T) {
+	k := NewKey(1, 2, 3)
+	var subs []Key
+	k.Subkeys(func(s Key) { subs = append(subs, s) })
+	want := []Key{NewKey(2, 3), NewKey(1, 3), NewKey(1, 2)}
+	if !reflect.DeepEqual(subs, want) {
+		t.Fatalf("Subkeys = %v, want %v", subs, want)
+	}
+	NewKey(9).Subkeys(func(Key) { t.Fatal("size-1 key has no proper subkeys") })
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want bool
+	}{
+		{NewKey(1), NewKey(1, 2), true},
+		{NewKey(2), NewKey(1, 2), true},
+		{NewKey(1, 2), NewKey(1, 2), true},
+		{NewKey(3), NewKey(1, 2), false},
+		{NewKey(1, 2, 3), NewKey(1, 2), false},
+		{NewKey(1, 3), NewKey(1, 2, 3), true},
+	}
+	for _, c := range cases {
+		if got := c.a.IsSubsetOf(c.b); got != c.want {
+			t.Errorf("%v ⊆ %v = %v, want %v", c.a.Terms(), c.b.Terms(), got, c.want)
+		}
+	}
+}
+
+func TestSubkeysAreSubsets(t *testing.T) {
+	prop := func(a, b, c uint16) bool {
+		ta, tb, tc := corpus.TermID(a), corpus.TermID(b), corpus.TermID(c)
+		if ta == tb || tb == tc || ta == tc {
+			return true
+		}
+		k := NewKey(ta, tb, tc)
+		ok := true
+		k.Subkeys(func(s Key) {
+			if !s.IsSubsetOf(k) || s.Size() != k.Size()-1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalStringAndParse(t *testing.T) {
+	vocab := []string{"alpha", "beta", "gamma", "delta"}
+	e := &Engine{vocab: vocab, termID: map[string]corpus.TermID{}}
+	for i, s := range vocab {
+		e.termID[s] = corpus.TermID(i)
+	}
+	for _, k := range []Key{NewKey(0), NewKey(2, 0), NewKey(3, 1, 0)} {
+		got, err := e.parseKey(k.CanonicalString(vocab))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Fatalf("round trip: got %v, want %v", got.Terms(), k.Terms())
+		}
+	}
+	if _, err := e.parseKey("nope"); err == nil {
+		t.Error("unknown term accepted")
+	}
+}
+
+func TestDisplayString(t *testing.T) {
+	vocab := []string{"alpha", "beta"}
+	if got := NewKey(1, 0).DisplayString(vocab); got != "alpha+beta" {
+		t.Fatalf("DisplayString = %q", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(statsFor(100, 50))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.DFMax = 0 },
+		func(c *Config) { c.SMax = 0 },
+		func(c *Config) { c.SMax = MaxKeySize + 1 },
+		func(c *Config) { c.Window = 1 },
+		func(c *Config) { c.Ff = 0 },
+	}
+	for i, mutate := range bad {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	col := testCollection(t, 60)
+	cfg := testConfig(col, 6)
+
+	serial := buildEngine(t, col, 4, cfg)
+	if err := serial.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Stats()
+	wantKeys := collectIndexKeys(t, serial)
+
+	parallel := buildEngine(t, col, 4, cfg)
+	parallel.SetConcurrency(4)
+	if err := parallel.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	got := parallel.Stats()
+	gotKeys := collectIndexKeys(t, parallel)
+
+	if got.StoredTotal != want.StoredTotal || got.KeysTotal != want.KeysTotal {
+		t.Fatalf("parallel stored/keys %d/%d, serial %d/%d",
+			got.StoredTotal, got.KeysTotal, want.StoredTotal, want.KeysTotal)
+	}
+	for s := range wantKeys {
+		if len(gotKeys[s]) != len(wantKeys[s]) {
+			t.Fatalf("size %d: %d keys parallel vs %d serial", s, len(gotKeys[s]), len(wantKeys[s]))
+		}
+		for k, st := range wantKeys[s] {
+			if gotKeys[s][k] != st {
+				t.Fatalf("size %d key %v: status %v parallel vs %v serial", s, k.Terms(), gotKeys[s][k], st)
+			}
+		}
+	}
+	// Traffic totals commute too.
+	if parallel.Traffic().Snapshot().InsertedTotal != serial.Traffic().Snapshot().InsertedTotal {
+		t.Fatal("inserted-posting totals differ between parallel and serial builds")
+	}
+}
+
+func TestSetConcurrencyClamps(t *testing.T) {
+	col := testCollection(t, 20)
+	cfg := testConfig(col, 5)
+	eng := buildEngine(t, col, 2, cfg)
+	eng.SetConcurrency(-3) // must clamp to 1, not panic or deadlock
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+}

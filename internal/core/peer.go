@@ -1,0 +1,524 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/postings"
+)
+
+// Peer is one participant: it stores a fraction of the global document
+// collection, computes the keys derivable from it, inserts them into the
+// global index, and (as an overlay node) hosts a fraction of that index.
+type Peer struct {
+	eng  *Engine
+	node overlay.Member
+	docs []docState
+
+	mu sync.Mutex
+	// nd[s] holds the keys of size s this peer contributed that the
+	// global index classified non-discriminative — exactly the knowledge
+	// the paper says local HDK computation needs ("the global document
+	// frequencies of the local size 1 and size (s-1) NDKs").
+	nd [MaxKeySize + 1]map[Key]bool
+	// fresh[s] holds keys that turned non-discriminative since this
+	// peer's last completed generation round of size s+1. Freshly-ND
+	// keys drive the incremental-maintenance expansion: their supersets
+	// were never generated, so they need postings from ALL local
+	// documents, while everything else only needs the new documents.
+	fresh [MaxKeySize + 1]map[Key]bool
+	// indexedDocs is the watermark: p.docs[:indexedDocs] are covered by
+	// the built index; the tail arrived via AddDocuments.
+	indexedDocs int
+}
+
+// docState is a pre-processed local document: the term sequence with
+// globally very frequent terms removed (the collection-adaptive stop list
+// of Section 4.1) plus the per-term frequencies used for scoring.
+type docState struct {
+	id    corpus.DocID
+	terms []corpus.TermID
+	tf    map[corpus.TermID]int
+	dl    int // original document length, for BM25 normalization
+}
+
+// Node returns the peer's overlay node.
+func (p *Peer) Node() overlay.Member { return p.node }
+
+// newPeer pre-processes the peer's local collection.
+func newPeer(eng *Engine, node overlay.Member, local *corpus.Collection) *Peer {
+	p := &Peer{eng: eng, node: node}
+	for i := range p.nd {
+		p.nd[i] = make(map[Key]bool)
+		p.fresh[i] = make(map[Key]bool)
+	}
+	p.appendDocs(local)
+	node.Handle(svcNotify, p.handleNotify)
+	return p
+}
+
+// appendDocs pre-processes documents into the peer's local store.
+func (p *Peer) appendDocs(local *corpus.Collection) {
+	for i := range local.Docs {
+		d := &local.Docs[i]
+		ds := docState{id: d.ID, dl: len(d.Terms), tf: make(map[corpus.TermID]int)}
+		ds.terms = make([]corpus.TermID, 0, len(d.Terms))
+		for _, t := range d.Terms {
+			if p.eng.vf[t] {
+				continue
+			}
+			ds.terms = append(ds.terms, t)
+			ds.tf[t]++
+		}
+		p.docs = append(p.docs, ds)
+	}
+}
+
+// AddDocuments stages new local documents for the next UpdateIndex call.
+// Document ids must be globally unique and larger than every id the peer
+// already holds (posting lists are ordered by doc id).
+func (p *Peer) AddDocuments(local *corpus.Collection) error {
+	var maxID corpus.DocID
+	if len(p.docs) > 0 {
+		maxID = p.docs[len(p.docs)-1].id
+	}
+	for i := range local.Docs {
+		if (len(p.docs) > 0 || i > 0) && local.Docs[i].ID <= maxID {
+			return fmt.Errorf("core: new document id %d not above preceding maximum %d",
+				local.Docs[i].ID, maxID)
+		}
+		maxID = local.Docs[i].ID
+	}
+	p.appendDocs(local)
+	return nil
+}
+
+// handleNotify records keys the global index reclassified as
+// non-discriminative; they drive next round's expansion.
+func (p *Peer) handleNotify(req []byte) ([]byte, error) {
+	batch, err := postings.DecodeKeyedBatch(req)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range batch {
+		k, err := p.eng.parseKey(m.Key)
+		if err != nil {
+			return nil, err
+		}
+		p.nd[k.Size()][k] = true
+		p.fresh[k.Size()][k] = true
+	}
+	return nil, nil
+}
+
+// markND is the in-response path: the peer learns a key is ND from the
+// classify sweep without a dedicated message (tests use it directly).
+func (p *Peer) markND(k Key) {
+	p.mu.Lock()
+	p.nd[k.Size()][k] = true
+	p.fresh[k.Size()][k] = true
+	p.mu.Unlock()
+}
+
+// consumeFresh clears the freshness set of the given size after a
+// generation round has expanded it, and advances the document watermark
+// when the whole update completes.
+func (p *Peer) consumeFresh(size int) {
+	p.mu.Lock()
+	p.fresh[size] = make(map[Key]bool)
+	p.mu.Unlock()
+}
+
+func (p *Peer) advanceWatermark() { p.indexedDocs = len(p.docs) }
+
+// ndCount returns how many keys of size s the peer knows to be ND.
+func (p *Peer) ndCount(s int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.nd[s])
+}
+
+// candAcc accumulates a candidate key's local posting list during a
+// generation pass. Documents are scanned in ascending id order, so the
+// list stays sorted and per-doc dedup is a single comparison.
+type candAcc struct {
+	lastDoc corpus.DocID // +1; 0 means none yet
+	list    postings.List
+}
+
+// tfComp returns the df-independent BM25 factor for term t in doc ds: the
+// partial score a posting carries into the global index (the index node
+// applies idf once the global df is known).
+func (p *Peer) tfComp(ds *docState, t corpus.TermID) float32 {
+	cfg := &p.eng.cfg
+	full := cfg.BM25.Score(cfg.Stats, ds.tf[t], 1, ds.dl)
+	return float32(full / cfg.Stats.IDF(1))
+}
+
+// keyScore is the partial relevance of a key within a document: the sum
+// of its member terms' partial BM25 scores.
+func (p *Peer) keyScore(ds *docState, k Key) float32 {
+	var s float32
+	for i := 0; i < k.Size(); i++ {
+		s += p.tfComp(ds, k.Term(i))
+	}
+	return s
+}
+
+// candFilter selects candidates by freshness during generation.
+// candAll keeps everything (the initial build). The incremental update
+// partitions work between candNotFresh over the new documents (keys that
+// already exist in the index only need the new postings) and
+// candFreshOnly over all documents (keys whose generation was unlocked
+// by a freshly non-discriminative sub-key were never inserted and need
+// their full local posting lists).
+type candFilter int
+
+const (
+	candAll candFilter = iota
+	candNotFresh
+	candFreshOnly
+)
+
+func (f candFilter) keep(fresh bool) bool {
+	switch f {
+	case candNotFresh:
+		return !fresh
+	case candFreshOnly:
+		return fresh
+	default:
+		return true
+	}
+}
+
+// generate computes this peer's local candidate keys of size s with their
+// local posting lists over all documents (the initial build). Size 1
+// enumerates distinct document terms; larger sizes expand known-ND keys
+// with co-window terms under redundancy filtering (every immediate
+// sub-key must be ND).
+func (p *Peer) generate(s int) map[Key]*candAcc {
+	switch {
+	case s == 1:
+		return p.generateSingles(p.docs)
+	case s == 2:
+		return p.generatePairs(p.docs, candAll)
+	default:
+		return p.generateExtensions(s, p.docs, candAll)
+	}
+}
+
+// generateUpdate computes the incremental-maintenance candidates of size
+// s: new postings for existing keys from the new documents, plus full
+// postings for keys unlocked by freshly-ND sub-keys from all documents.
+// The two passes partition the candidate space, so the maps are disjoint.
+func (p *Peer) generateUpdate(s int) map[Key]*candAcc {
+	newDocs := p.docs[p.indexedDocs:]
+	var cands map[Key]*candAcc
+	switch {
+	case s == 1:
+		return p.generateSingles(newDocs)
+	case s == 2:
+		cands = p.generatePairs(newDocs, candNotFresh)
+		mergeCands(cands, p.generatePairs(p.docs, candFreshOnly))
+	default:
+		cands = p.generateExtensions(s, newDocs, candNotFresh)
+		mergeCands(cands, p.generateExtensions(s, p.docs, candFreshOnly))
+	}
+	return cands
+}
+
+// mergeCands folds src into dst; the two passes generate disjoint key
+// sets, so a collision indicates a bug.
+func mergeCands(dst, src map[Key]*candAcc) {
+	for k, v := range src {
+		if _, dup := dst[k]; dup {
+			panic("core: incremental generation passes overlapped")
+		}
+		dst[k] = v
+	}
+}
+
+func (p *Peer) generateSingles(docs []docState) map[Key]*candAcc {
+	cands := make(map[Key]*candAcc)
+	for i := range docs {
+		ds := &docs[i]
+		for t := range ds.tf {
+			k := NewKey(t)
+			p.addCand(cands, k, ds)
+		}
+	}
+	return cands
+}
+
+// addCand records (key, doc) once per document.
+func (p *Peer) addCand(cands map[Key]*candAcc, k Key, ds *docState) {
+	acc := cands[k]
+	if acc == nil {
+		acc = &candAcc{}
+		cands[k] = acc
+	}
+	if acc.lastDoc == ds.id+1 {
+		return
+	}
+	acc.lastDoc = ds.id + 1
+	acc.list = append(acc.list, postings.Posting{Doc: ds.id, Score: p.keyScore(ds, k)})
+}
+
+// generatePairs builds size-2 candidates: pairs of ND single terms
+// co-occurring within a window. Each in-window pair is visited exactly
+// once, when its right member enters the sliding window (the counting
+// device of the paper's Theorem 3 proof). Under the redundancy-filtering
+// ablation one ND member suffices. A pair is "fresh" when either member
+// turned ND since the last round — exactly the pairs that do not exist
+// in the index yet.
+func (p *Peer) generatePairs(docs []docState, filter candFilter) map[Key]*candAcc {
+	cfg := &p.eng.cfg
+	w := cfg.Window
+	cands := make(map[Key]*candAcc)
+	p.mu.Lock()
+	nd1 := p.nd[1]
+	fresh1 := p.fresh[1]
+	p.mu.Unlock()
+	for i := range docs {
+		ds := &docs[i]
+		for j, t := range ds.terms {
+			kt := NewKey(t)
+			tND := nd1[kt]
+			if !tND && !cfg.DisableRedundancyFiltering {
+				continue
+			}
+			lo := j - w + 1
+			if lo < 0 {
+				lo = 0
+			}
+			for x := lo; x < j; x++ {
+				u := ds.terms[x]
+				if u == t {
+					continue
+				}
+				ku := NewKey(u)
+				uND := nd1[ku]
+				if cfg.DisableRedundancyFiltering {
+					if !tND && !uND {
+						continue
+					}
+				} else if !uND {
+					continue
+				}
+				if !filter.keep(fresh1[kt] || fresh1[ku]) {
+					continue
+				}
+				p.addCand(cands, NewKey(u, t), ds)
+			}
+		}
+	}
+	return cands
+}
+
+// generateExtensions builds size-s candidates (s >= 3) by extending ND
+// keys of size s-1 with an ND term in the same window, pruning candidates
+// with any discriminative immediate sub-key (Apriori-style: the inductive
+// construction guarantees deeper sub-keys are ND). A candidate is
+// "fresh" when any immediate sub-key turned ND since the last round.
+func (p *Peer) generateExtensions(s int, docs []docState, filter candFilter) map[Key]*candAcc {
+	cfg := &p.eng.cfg
+	w := cfg.Window
+	cands := make(map[Key]*candAcc)
+	p.mu.Lock()
+	nd1 := p.nd[1]
+	ndPrev := p.nd[s-1]
+	freshPrev := p.fresh[s-1]
+	p.mu.Unlock()
+	if len(ndPrev) == 0 {
+		return cands
+	}
+	// Scratch buffers reused across positions.
+	var lookback []corpus.TermID
+	for i := range docs {
+		ds := &docs[i]
+		for j, c := range ds.terms {
+			cND := nd1[NewKey(c)]
+			if !cND && !cfg.DisableRedundancyFiltering {
+				continue
+			}
+			lo := j - w + 1
+			if lo < 0 {
+				lo = 0
+			}
+			// Distinct candidate co-terms in the lookback window.
+			lookback = lookback[:0]
+			for x := lo; x < j; x++ {
+				u := ds.terms[x]
+				if u == c || containsTerm(lookback, u) {
+					continue
+				}
+				if nd1[NewKey(u)] || cfg.DisableRedundancyFiltering {
+					lookback = append(lookback, u)
+				}
+			}
+			// Extend every ND (s-1)-key formed inside the lookback by c.
+			p.extendWithin(cands, ds, lookback, c, s, ndPrev, freshPrev, filter, cfg.DisableRedundancyFiltering)
+		}
+	}
+	return cands
+}
+
+// extendWithin enumerates (s-1)-subsets of the lookback terms that are ND
+// keys and extends them with c, applying the sub-key prune and the
+// freshness filter.
+func (p *Peer) extendWithin(cands map[Key]*candAcc, ds *docState, lookback []corpus.TermID,
+	c corpus.TermID, s int, ndPrev, freshPrev map[Key]bool, filter candFilter, noPrune bool) {
+	need := s - 1
+	subset := make([]corpus.TermID, 0, need)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(subset) == need {
+			base := NewKey(subset...)
+			if !ndPrev[base] {
+				return
+			}
+			cand := base.Extend(c)
+			allND, anyFresh := p.subkeyState(cand, ndPrev, freshPrev)
+			if noPrune {
+				// Ablation: only the base must be ND; freshness follows
+				// the base alone.
+				anyFresh = freshPrev[base]
+			} else if !allND {
+				return
+			}
+			if !filter.keep(anyFresh) {
+				return
+			}
+			p.addCand(cands, cand, ds)
+			return
+		}
+		for i := start; i < len(lookback); i++ {
+			subset = append(subset, lookback[i])
+			rec(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0)
+}
+
+// subkeyState walks the immediate sub-keys once, reporting whether all
+// are non-discriminative (redundancy filtering) and whether any turned
+// ND since the last round (freshness).
+func (p *Peer) subkeyState(cand Key, ndPrev, freshPrev map[Key]bool) (allND, anyFresh bool) {
+	allND = true
+	cand.Subkeys(func(sub Key) {
+		if !ndPrev[sub] {
+			allND = false
+		}
+		if freshPrev[sub] {
+			anyFresh = true
+		}
+	})
+	return allND, anyFresh
+}
+
+// insertAll routes each candidate key to its DHT owner and inserts the
+// local posting list. It returns the number of postings shipped.
+func (p *Peer) insertAll(cands map[Key]*candAcc, size int) (uint64, error) {
+	keys := make([]Key, 0, len(cands))
+	for k := range cands {
+		keys = append(keys, k)
+	}
+	vocab := p.eng.vocab
+	sort.Slice(keys, func(i, j int) bool {
+		return keyLess(keys[i], keys[j])
+	})
+	inserted := uint64(0)
+	for _, k := range keys {
+		list := cands[k].list
+		canonical := k.CanonicalString(vocab)
+		owner, _, err := p.eng.net.Route(p.node, canonical)
+		if err != nil {
+			return inserted, fmt.Errorf("core: route key %q: %w", k.DisplayString(vocab), err)
+		}
+		req := encodeInsertReq(nil, p.node.Addr(), []postings.KeyedMessage{
+			{Key: canonical, Aux: uint64(size), List: list},
+		})
+		resp, err := p.eng.net.CallService(owner.Addr(), svcInsert, req)
+		if err != nil {
+			return inserted, fmt.Errorf("core: insert key %q: %w", k.DisplayString(vocab), err)
+		}
+		if err := p.applyInsertResponse(resp); err != nil {
+			return inserted, err
+		}
+		inserted += uint64(len(list))
+	}
+	return inserted, nil
+}
+
+// applyInsertResponse records the global classification of keys this
+// peer just contributed to that were already classified: NDK statuses
+// feed the peer's expansion knowledge. They are not marked fresh — the
+// key already exists globally, so only this peer's new documents (the
+// ones that produced the insert) can contain its supersets.
+func (p *Peer) applyInsertResponse(resp []byte) error {
+	if len(resp) == 0 {
+		return nil
+	}
+	batch, err := postings.DecodeKeyedBatch(resp)
+	if err != nil {
+		return err
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range batch {
+		if KeyStatus(m.Aux) != StatusNDK {
+			continue
+		}
+		k, err := p.eng.parseKey(m.Key)
+		if err != nil {
+			return err
+		}
+		p.nd[k.Size()][k] = true
+	}
+	return nil
+}
+
+func keyLess(a, b Key) bool {
+	for i := 0; i < MaxKeySize; i++ {
+		if a.t[i] != b.t[i] {
+			return a.t[i] < b.t[i]
+		}
+	}
+	return false
+}
+
+func containsTerm(ts []corpus.TermID, t corpus.TermID) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// parseKey converts a canonical wire key back to the packed form.
+func (e *Engine) parseKey(canonical string) (Key, error) {
+	parts := strings.Split(canonical, keySeparator)
+	terms := make([]corpus.TermID, 0, len(parts))
+	for _, s := range parts {
+		id, ok := e.termID[s]
+		if !ok {
+			return Key{}, fmt.Errorf("core: unknown term %q in key", s)
+		}
+		terms = append(terms, id)
+	}
+	if len(terms) > MaxKeySize {
+		return Key{}, fmt.Errorf("core: key of size %d exceeds maximum %d", len(terms), MaxKeySize)
+	}
+	return NewKey(terms...), nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/postings"
+)
+
+// Index snapshot format: a magic header, a version byte, a uvarint entry
+// count, then one keyed record per entry with Aux packing
+// (df << 5) | (size << 2) | status. Snapshots let a network serve a
+// previously built index without re-running the (expensive) distributed
+// build; on import, entries are routed to the stores of the CURRENT
+// overlay membership, so a snapshot taken on N peers loads fine on M.
+//
+// Peer-side expansion state (ND knowledge, document watermarks) is not
+// part of a snapshot: an imported index is immediately queryable, while
+// incremental updates require the peers that own the documents.
+
+var snapshotMagic = []byte("HDKIDX")
+
+const snapshotVersion = 1
+
+// ErrBadSnapshot is returned by ImportIndex for malformed input.
+var ErrBadSnapshot = errors.New("core: bad index snapshot")
+
+// ExportIndex writes a snapshot of the whole global index.
+func (e *Engine) ExportIndex(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	type rec struct {
+		key string
+		m   postings.KeyedMessage
+	}
+	var recs []rec
+	for _, store := range e.stores {
+		store.mu.Lock()
+		for key, ent := range store.entries {
+			if !ent.classified {
+				continue
+			}
+			aux := (uint64(ent.df)<<3|uint64(ent.size))<<2 | uint64(ent.status)
+			recs = append(recs, rec{key: key, m: postings.KeyedMessage{Key: key, Aux: aux, List: ent.list}})
+		}
+		store.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	var count [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(count[:], uint64(len(recs)))
+	if _, err := bw.Write(count[:n]); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = postings.EncodeKeyed(buf[:0], r.m)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportIndex loads a snapshot, distributing every entry to the store of
+// the overlay node currently responsible for the key. Existing entries
+// for the same keys are replaced; other entries are left alone.
+func (e *Engine) ImportIndex(r io.Reader) error {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(snapshotMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if string(head[:len(snapshotMagic)]) != string(snapshotMagic) {
+		return fmt.Errorf("%w: wrong magic", ErrBadSnapshot)
+	}
+	if head[len(snapshotMagic)] != snapshotVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, head[len(snapshotMagic)])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	// Records are decoded from a fully buffered remainder: keyed records
+	// are length-prefixed internally, so stream-decode over the slice.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for i := uint64(0); i < count; i++ {
+		m, n, err := postings.DecodeKeyed(rest[off:])
+		if err != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrBadSnapshot, i, err)
+		}
+		off += n
+		status := KeyStatus(m.Aux & 3)
+		if status != StatusHDK && status != StatusNDK {
+			return fmt.Errorf("%w: record %d has status %d", ErrBadSnapshot, i, status)
+		}
+		size := int(m.Aux >> 2 & 7)
+		if size < 1 || size > MaxKeySize {
+			return fmt.Errorf("%w: record %d has key size %d", ErrBadSnapshot, i, size)
+		}
+		df := int(m.Aux >> 5)
+		owner, ok := e.net.OwnerOf(m.Key)
+		if !ok {
+			return errors.New("core: import into empty overlay")
+		}
+		store, okStore := e.stores[owner.ID()]
+		if !okStore {
+			return fmt.Errorf("core: owner of %q has no store", m.Key)
+		}
+		store.mu.Lock()
+		store.entries[m.Key] = &entry{
+			size:         size,
+			list:         m.List,
+			df:           df,
+			classified:   true,
+			status:       status,
+			contributors: make(map[string]struct{}),
+		}
+		store.mu.Unlock()
+	}
+	if off != len(rest) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(rest)-off)
+	}
+	e.InvalidateQueryCache()
+	return nil
+}

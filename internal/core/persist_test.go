@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/transport"
+)
+
+// emptyEngine builds an engine with index stores but no peer documents —
+// the "serving replica" that loads a snapshot.
+func emptyEngine(t *testing.T, col *corpus.Collection, peers int, cfg Config) *Engine {
+	t.Helper()
+	net := overlay.NewNetwork(transport.NewInProc())
+	for i := 0; i < peers; i++ {
+		if _, err := net.AddNode(fmt.Sprintf("replica-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	col := testCollection(t, 50)
+	cfg := testConfig(col, 6)
+	src := buildEngine(t, col, 4, cfg)
+	if err := src.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.ExportIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Import into a DIFFERENT membership (7 replicas vs 4 build peers):
+	// entries must land on the new owners and answer identically.
+	dst := emptyEngine(t, col, 7, cfg)
+	if err := dst.ImportIndex(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	assertEnginesEqual(t, dst, src, cfg)
+
+	// And queries answer the same through the DHT.
+	srcNode := src.net.Members()[0]
+	dstNode := dst.net.Members()[0]
+	for i := 0; i < 15; i++ {
+		q := corpus.Query{Terms: col.Docs[i].Terms[:2]}
+		a, err := src.Search(q, srcNode, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dst.Search(q, dstNode, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Results) != len(b.Results) {
+			t.Fatalf("query %d: %d vs %d results", i, len(a.Results), len(b.Results))
+		}
+		for j := range a.Results {
+			if a.Results[j].Doc != b.Results[j].Doc {
+				t.Fatalf("query %d rank %d: doc %d vs %d", i, j, a.Results[j].Doc, b.Results[j].Doc)
+			}
+		}
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	col := testCollection(t, 30)
+	cfg := testConfig(col, 5)
+	eng := buildEngine(t, col, 4, cfg)
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := eng.ExportIndex(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ExportIndex(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same index differ")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	col := testCollection(t, 20)
+	cfg := testConfig(col, 5)
+	eng := emptyEngine(t, col, 2, cfg)
+	cases := [][]byte{
+		nil,
+		[]byte("not a snapshot"),
+		[]byte("HDKIDX\xff"),               // bad version
+		append([]byte("HDKIDX\x01"), 0xff), // truncated count
+	}
+	for i, c := range cases {
+		if err := eng.ImportIndex(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestImportRejectsTrailingBytes(t *testing.T) {
+	col := testCollection(t, 20)
+	cfg := testConfig(col, 5)
+	src := buildEngine(t, col, 2, cfg)
+	if err := src.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.ExportIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0x00)
+	dst := emptyEngine(t, col, 2, cfg)
+	if err := dst.ImportIndex(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

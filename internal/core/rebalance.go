@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/overlay"
+)
+
+// This file implements index maintenance under overlay membership
+// changes. The paper's experiments grow the network in batches of four
+// peers; a real deployment additionally needs the global index to follow
+// the key→owner mapping as nodes join and leave. Rebalance moves
+// misplaced entries to their current owners; RemoveNode performs a
+// graceful leave with handoff.
+
+// Rebalance scans every store and moves entries whose responsible node
+// changed (after joins) to the current owner. It returns the number of
+// entries moved. Ongoing queries remain correct throughout: entries are
+// inserted at the destination before being deleted at the source.
+func (e *Engine) Rebalance() (int, error) {
+	moved := 0
+	// Deterministic iteration over stores.
+	ids := make([]overlay.ID, 0, len(e.stores))
+	for id := range e.stores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		store := e.stores[id]
+		store.mu.Lock()
+		var misplaced []string
+		for key := range store.entries {
+			owner, okOwner := e.net.OwnerOf(key)
+			if !okOwner {
+				store.mu.Unlock()
+				return moved, fmt.Errorf("core: empty overlay during rebalance")
+			}
+			if owner.ID() != id {
+				misplaced = append(misplaced, key)
+			}
+		}
+		sort.Strings(misplaced)
+		entries := make([]*entry, len(misplaced))
+		for i, key := range misplaced {
+			entries[i] = store.entries[key]
+		}
+		store.mu.Unlock()
+
+		for i, key := range misplaced {
+			owner, _ := e.net.OwnerOf(key)
+			dst, ok := e.stores[owner.ID()]
+			if !ok {
+				return moved, fmt.Errorf("core: owner of %q has no store", key)
+			}
+			dst.mu.Lock()
+			dst.entries[key] = entries[i]
+			dst.mu.Unlock()
+			store.mu.Lock()
+			delete(store.entries, key)
+			store.mu.Unlock()
+			moved++
+		}
+	}
+	e.InvalidateQueryCache()
+	return moved, nil
+}
+
+// RemoveNode gracefully removes an overlay node from the engine: its
+// index fraction is handed off to the nodes that become responsible, and
+// the node leaves the ring. Documents contributed by a peer hosted on
+// the node remain indexed (the paper's model keeps document references
+// in the global index; peer departure with document loss is a different
+// failure mode the model does not cover).
+func (e *Engine) RemoveNode(node overlay.Member) error {
+	store, ok := e.stores[node.ID()]
+	if !ok {
+		return fmt.Errorf("core: node %x has no store", node.ID())
+	}
+	// Leave the ring first so ownership recomputes without the node...
+	churn, ok := e.net.(overlay.Churn)
+	if !ok {
+		return fmt.Errorf("core: fabric does not support node removal")
+	}
+	if !churn.RemoveNode(node.ID()) {
+		return fmt.Errorf("core: node %x not in overlay", node.ID())
+	}
+	if e.net.Size() == 0 {
+		return fmt.Errorf("core: cannot remove the last node")
+	}
+	// ...then hand its entries to the new owners.
+	store.mu.Lock()
+	keys := make([]string, 0, len(store.entries))
+	for key := range store.entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	entries := make(map[string]*entry, len(keys))
+	for _, key := range keys {
+		entries[key] = store.entries[key]
+	}
+	store.mu.Unlock()
+
+	for _, key := range keys {
+		owner, _ := e.net.OwnerOf(key)
+		dst, ok := e.stores[owner.ID()]
+		if !ok {
+			return fmt.Errorf("core: owner of %q has no store after leave", key)
+		}
+		dst.mu.Lock()
+		dst.entries[key] = entries[key]
+		dst.mu.Unlock()
+	}
+	delete(e.stores, node.ID())
+	// Drop departed peers hosted on this node from the build set.
+	kept := e.peers[:0]
+	for _, p := range e.peers {
+		if p.node.ID() != node.ID() {
+			kept = append(kept, p)
+		}
+	}
+	e.peers = kept
+	e.InvalidateQueryCache()
+	return nil
+}

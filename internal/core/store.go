@@ -1,0 +1,221 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/postings"
+)
+
+// Service names the HDK engine registers on overlay nodes.
+const (
+	svcInsert = "hdk.insert"
+	svcFetch  = "hdk.fetch"
+	svcNotify = "hdk.notify"
+)
+
+// KeyStatus is the global classification of a key held by the index.
+type KeyStatus uint8
+
+// Key classifications. Absent is only produced by fetches for keys the
+// index does not hold.
+const (
+	StatusAbsent KeyStatus = iota
+	StatusHDK
+	StatusNDK
+)
+
+// String implements fmt.Stringer.
+func (s KeyStatus) String() string {
+	switch s {
+	case StatusHDK:
+		return "HDK"
+	case StatusNDK:
+		return "NDK"
+	default:
+		return "absent"
+	}
+}
+
+// entry is one key's state in an index node's fraction of the global
+// index.
+type entry struct {
+	size       int
+	list       postings.List // full for HDKs, top-DFmax for NDKs
+	df         int           // true global document frequency
+	classified bool
+	status     KeyStatus
+	// contributors are the notify addresses of peers that inserted
+	// postings for this key and must be told when it turns ND.
+	contributors map[string]struct{}
+}
+
+// hdkStore is the fraction of the global index one overlay node is
+// responsible for.
+type hdkStore struct {
+	mu      sync.Mutex
+	cfg     *Config
+	entries map[string]*entry
+}
+
+func newHDKStore(cfg *Config) *hdkStore {
+	return &hdkStore{cfg: cfg, entries: make(map[string]*entry)}
+}
+
+// insert merges a peer's local posting list for a key. Doc sets are
+// disjoint across peers (each document lives on exactly one peer), so the
+// global df is the sum of inserted list lengths. It returns the entry's
+// current classification so new contributors of already-classified keys
+// learn the global status in the insert response (incremental
+// maintenance: a peer whose new documents introduce a term it never held
+// must still know the term is non-discriminative to expand it).
+//
+// For classified NDKs the merged list is re-truncated immediately. This
+// is exact: a posting evicted by an earlier truncation was dominated by
+// DFmax better postings, which are all still present, so it can never
+// re-enter any later top-DFmax.
+func (s *hdkStore) insert(key string, size int, list postings.List, contributor string) (KeyStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &entry{size: size, contributors: make(map[string]struct{})}
+		s.entries[key] = e
+	}
+	e.df += len(list)
+	if e.classified && e.status == StatusNDK {
+		if !s.cfg.DisableNDKStorage {
+			e.list = postings.Union(e.list, list).TopK(s.cfg.DFMax)
+		}
+	} else {
+		e.list = postings.Union(e.list, list)
+	}
+	e.contributors[contributor] = struct{}{}
+	return e.status, e.classified
+}
+
+// classifySweep classifies every not-yet-classified entry of the given
+// size (df <= DFmax becomes an HDK keeping its full posting list;
+// anything above becomes an NDK truncated to its top-DFmax postings, or
+// dropped entirely under the NDK-storage ablation) and RE-classifies
+// already-classified HDKs whose df grew past DFmax through incremental
+// insertion — the paper's maintenance rule: "if any of the inserted HDKs
+// become globally non-discriminative, [the network] notifies the peers
+// that have submitted such key". It returns, per newly non-discriminative
+// key, the contributors to notify.
+func (s *hdkStore) classifySweep(size int) map[string][]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	notify := make(map[string][]string)
+	for key, e := range s.entries {
+		if e.size != size {
+			continue
+		}
+		switch {
+		case !e.classified:
+			e.classified = true
+			if e.df <= s.cfg.DFMax {
+				e.status = StatusHDK
+				continue
+			}
+		case e.status == StatusHDK && e.df > s.cfg.DFMax:
+			// HDK turned non-discriminative under new documents.
+		default:
+			continue
+		}
+		e.status = StatusNDK
+		if s.cfg.DisableNDKStorage {
+			e.list = nil
+		} else {
+			e.list = e.list.TopK(s.cfg.DFMax)
+		}
+		addrs := make([]string, 0, len(e.contributors))
+		for a := range e.contributors {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		notify[key] = addrs
+	}
+	return notify
+}
+
+// fetch returns the key's classification, global df and its posting list
+// with the idf(df) relevance factor applied (the index node knows the
+// global df; the querying peer only merges).
+func (s *hdkStore) fetch(key string) (KeyStatus, int, postings.List) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || !e.classified {
+		return StatusAbsent, 0, nil
+	}
+	idf := float32(s.cfg.Stats.IDF(e.df))
+	scored := make(postings.List, len(e.list))
+	for i, p := range e.list {
+		scored[i] = postings.Posting{Doc: p.Doc, Score: p.Score * idf}
+	}
+	return e.status, e.df, scored
+}
+
+// storedBySize returns resident posting counts and key counts per key
+// size (Figures 3 and 5 inputs).
+func (s *hdkStore) storedBySize(maxSize int) (posts, keys []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	posts = make([]int, maxSize+1)
+	keys = make([]int, maxSize+1)
+	for _, e := range s.entries {
+		if e.size <= maxSize {
+			posts[e.size] += len(e.list)
+			keys[e.size]++
+		}
+	}
+	return posts, keys
+}
+
+// --- wire encoding -------------------------------------------------------
+
+// errCorruptRPC is returned for malformed HDK RPC payloads.
+var errCorruptRPC = errors.New("core: corrupt rpc payload")
+
+// insert request: uvarint contributor-addr length, addr bytes, then a
+// keyed batch with Aux = key size.
+func encodeInsertReq(buf []byte, contributor string, batch []postings.KeyedMessage) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(contributor)))
+	buf = append(buf, contributor...)
+	return postings.EncodeKeyedBatch(buf, batch)
+}
+
+func decodeInsertReq(req []byte) (contributor string, batch []postings.KeyedMessage, err error) {
+	n, sz := binary.Uvarint(req)
+	if sz <= 0 || uint64(len(req)-sz) < n {
+		return "", nil, errCorruptRPC
+	}
+	contributor = string(req[sz : sz+int(n)])
+	batch, err = postings.DecodeKeyedBatch(req[sz+int(n):])
+	return contributor, batch, err
+}
+
+// fetch response: a keyed message with Aux = df<<2 | status.
+func encodeFetchResp(key string, status KeyStatus, df int, list postings.List) []byte {
+	return postings.EncodeKeyed(nil, postings.KeyedMessage{
+		Key:  key,
+		Aux:  uint64(df)<<2 | uint64(status),
+		List: list,
+	})
+}
+
+func decodeFetchResp(resp []byte) (status KeyStatus, df int, list postings.List, err error) {
+	m, _, err := postings.DecodeKeyed(resp)
+	if err != nil {
+		return StatusAbsent, 0, nil, err
+	}
+	status = KeyStatus(m.Aux & 3)
+	if status > StatusNDK {
+		return StatusAbsent, 0, nil, fmt.Errorf("%w: bad status %d", errCorruptRPC, status)
+	}
+	return status, int(m.Aux >> 2), m.List, nil
+}

@@ -1,0 +1,185 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/zipfmodel"
+)
+
+func small(t *testing.T, docs int) *Collection {
+	t.Helper()
+	p := DefaultGenParams(docs)
+	p.AvgDocLen = 60
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateBasicStats(t *testing.T) {
+	p := DefaultGenParams(500)
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != 500 {
+		t.Fatalf("M = %d, want 500", c.M())
+	}
+	avg := c.AvgDocLen()
+	if avg < 200 || avg > 250 {
+		t.Errorf("avg doc len = %.1f, want ~225 (paper Table 1)", avg)
+	}
+	if c.SampleSize() < 500*150 {
+		t.Errorf("sample size %d implausibly small", c.SampleSize())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultGenParams(50)
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Docs {
+		at, bt := a.Docs[i].Terms, b.Docs[i].Terms
+		if len(at) != len(bt) {
+			t.Fatalf("doc %d length differs", i)
+		}
+		for j := range at {
+			if at[j] != bt[j] {
+				t.Fatalf("doc %d term %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	p := DefaultGenParams(20)
+	a, _ := Generate(p)
+	p.Seed = 2
+	b, _ := Generate(p)
+	same := true
+	for i := range a.Docs {
+		if len(a.Docs[i].Terms) != len(b.Docs[i].Terms) {
+			same = false
+			break
+		}
+		for j := range a.Docs[i].Terms {
+			if a.Docs[i].Terms[j] != b.Docs[i].Terms[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical collections")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenParams{
+		{NumDocs: 0, VocabSize: 100, AvgDocLen: 50, Skew: 1.5},
+		{NumDocs: 10, VocabSize: 5, AvgDocLen: 50, Skew: 1.5},
+		{NumDocs: 10, VocabSize: 100, AvgDocLen: 1, Skew: 1.5},
+		{NumDocs: 10, VocabSize: 100, AvgDocLen: 50, Skew: 0},
+		{NumDocs: 10, VocabSize: 100, AvgDocLen: 50, Skew: 1.5, TopicMix: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestTermFrequenciesFollowZipf(t *testing.T) {
+	p := DefaultGenParams(400)
+	p.TopicMix = 0 // pure Zipf sampling for this test
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := c.TermFrequencies()
+	// Head terms must dominate: rank-0 term at least 5x the rank-100 term.
+	if freqs[0] < 5*freqs[100] {
+		t.Errorf("head not dominant: f[0]=%d f[100]=%d", freqs[0], freqs[100])
+	}
+	skew, _, err := zipfmodel.Fit(freqs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew < 0.6 || skew > 1.8 {
+		t.Errorf("fitted skew %.2f outside plausible zipfian range", skew)
+	}
+}
+
+func TestDocumentFrequenciesVsTermFrequencies(t *testing.T) {
+	c := small(t, 100)
+	tf := c.TermFrequencies()
+	df := c.DocumentFrequencies()
+	for id := range tf {
+		if df[id] > tf[id] {
+			t.Fatalf("term %d: df %d > tf %d (df(k) <= f(k) must hold)", id, df[id], tf[id])
+		}
+		if df[id] > c.M() {
+			t.Fatalf("term %d: df %d > M %d", id, df[id], c.M())
+		}
+		if (tf[id] > 0) != (df[id] > 0) {
+			t.Fatalf("term %d: tf %d but df %d", id, tf[id], df[id])
+		}
+	}
+}
+
+func TestSplitRoundRobin(t *testing.T) {
+	c := small(t, 103)
+	parts := c.SplitRoundRobin(4)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	seen := map[DocID]bool{}
+	for _, p := range parts {
+		total += p.M()
+		for i := range p.Docs {
+			if seen[p.Docs[i].ID] {
+				t.Fatalf("doc %d in two partitions", p.Docs[i].ID)
+			}
+			seen[p.Docs[i].ID] = true
+		}
+	}
+	if total != c.M() {
+		t.Fatalf("partition sizes sum to %d, want %d", total, c.M())
+	}
+	// Balance within 1.
+	for _, p := range parts {
+		if d := p.M() - c.M()/4; d < 0 || d > 1 {
+			t.Errorf("unbalanced partition size %d", p.M())
+		}
+	}
+}
+
+func TestVocabUniqueAndTokenizable(t *testing.T) {
+	vocab := makeVocab(5000)
+	seen := map[string]bool{}
+	for i, w := range vocab {
+		if seen[w] {
+			t.Fatalf("duplicate vocab word %q at rank %d", w, i)
+		}
+		seen[w] = true
+		if len(w) < 2 {
+			t.Fatalf("vocab word %q too short for the tokenizer", w)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	c := small(t, 3)
+	text := c.Text(&c.Docs[0])
+	if len(text) == 0 {
+		t.Fatal("empty text")
+	}
+}

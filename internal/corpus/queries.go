@@ -1,0 +1,155 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Query is a multi-term query (term ids into the collection vocabulary).
+type Query struct {
+	Terms []TermID
+}
+
+// QueryParams configures the synthetic query log, matching the statistics
+// of the paper's extracted Wikipedia query set: 3,000 queries, sizes 2-8,
+// average 3.02 terms, each producing more than MinHits hits on the indexed
+// collection. Single-term queries are excluded, as in the paper ("Single
+// term queries were not considered").
+type QueryParams struct {
+	NumQueries int
+	MinTerms   int // paper: 2
+	MaxTerms   int // paper: 8
+	MinHits    int // paper: >20 hits
+	Seed       int64
+}
+
+// DefaultQueryParams mirrors the paper's query-set statistics.
+func DefaultQueryParams(n int) QueryParams {
+	return QueryParams{NumQueries: n, MinTerms: 2, MaxTerms: 8, MinHits: 20, Seed: 7}
+}
+
+// querySizeWeights approximates the paper's size distribution: mean 3.02
+// with sizes 2..8. Weights chosen so the expected size is ~3.0.
+var querySizeWeights = []struct {
+	size   int
+	weight float64
+}{
+	{2, 0.42}, {3, 0.30}, {4, 0.15}, {5, 0.07}, {6, 0.04}, {7, 0.015}, {8, 0.005},
+}
+
+func sampleQuerySize(rng *rand.Rand, minT, maxT int) int {
+	u := rng.Float64()
+	acc := 0.0
+	for _, sw := range querySizeWeights {
+		acc += sw.weight
+		if u <= acc {
+			s := sw.size
+			if s < minT {
+				s = minT
+			}
+			if s > maxT {
+				s = maxT
+			}
+			return s
+		}
+	}
+	return minT
+}
+
+// HitCounter reports how many documents of the collection contain all the
+// query terms (conjunctive containment, the natural notion of a "hit").
+// The query generator uses it to enforce the paper's >MinHits filter.
+type HitCounter func(q Query) int
+
+// GenerateQueries samples queries from document windows: a random document
+// and a random in-window set of distinct terms, so that query terms
+// co-occur the way real queries relate to real pages. Queries failing the
+// MinHits filter are rejected and resampled, up to a bounded number of
+// attempts per query.
+func GenerateQueries(c *Collection, p QueryParams, windowSize int, hits HitCounter) ([]Query, error) {
+	if p.NumQueries < 1 {
+		return nil, fmt.Errorf("corpus: NumQueries must be >= 1, got %d", p.NumQueries)
+	}
+	if p.MinTerms < 1 || p.MaxTerms < p.MinTerms {
+		return nil, fmt.Errorf("corpus: need 1 <= MinTerms <= MaxTerms, got %d..%d", p.MinTerms, p.MaxTerms)
+	}
+	if len(c.Docs) == 0 {
+		return nil, fmt.Errorf("corpus: empty collection")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	queries := make([]Query, 0, p.NumQueries)
+	const maxAttemptsPerQuery = 200
+	attempts := 0
+	for len(queries) < p.NumQueries {
+		if attempts > maxAttemptsPerQuery*p.NumQueries {
+			return queries, fmt.Errorf("corpus: only %d/%d queries satisfied the >%d-hits filter",
+				len(queries), p.NumQueries, p.MinHits)
+		}
+		attempts++
+		q, ok := sampleQuery(c, rng, p, windowSize)
+		if !ok {
+			continue
+		}
+		if hits != nil && hits(q) <= p.MinHits {
+			continue
+		}
+		queries = append(queries, q)
+	}
+	return queries, nil
+}
+
+func sampleQuery(c *Collection, rng *rand.Rand, p QueryParams, windowSize int) (Query, bool) {
+	doc := &c.Docs[rng.Intn(len(c.Docs))]
+	if len(doc.Terms) < p.MinTerms {
+		return Query{}, false
+	}
+	size := sampleQuerySize(rng, p.MinTerms, p.MaxTerms)
+	w := windowSize
+	if w < size {
+		w = size
+	}
+	start := 0
+	if len(doc.Terms) > w {
+		start = rng.Intn(len(doc.Terms) - w + 1)
+	}
+	window := doc.Terms[start:min(start+w, len(doc.Terms))]
+	distinct := distinctTerms(window)
+	if len(distinct) < size {
+		return Query{}, false
+	}
+	rng.Shuffle(len(distinct), func(i, j int) { distinct[i], distinct[j] = distinct[j], distinct[i] })
+	terms := make([]TermID, size)
+	copy(terms, distinct[:size])
+	return Query{Terms: terms}, true
+}
+
+func distinctTerms(window []TermID) []TermID {
+	seen := make(map[TermID]struct{}, len(window))
+	out := make([]TermID, 0, len(window))
+	for _, t := range window {
+		if _, ok := seen[t]; !ok {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AvgQuerySize returns the mean number of terms per query.
+func AvgQuerySize(qs []Query) float64 {
+	if len(qs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, q := range qs {
+		total += len(q.Terms)
+	}
+	return float64(total) / float64(len(qs))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+)
+
+func containsAll(c *Collection, q Query) int {
+	hits := 0
+	for i := range c.Docs {
+		need := make(map[TermID]bool, len(q.Terms))
+		for _, t := range q.Terms {
+			need[t] = true
+		}
+		for _, t := range c.Docs[i].Terms {
+			if need[t] {
+				delete(need, t)
+				if len(need) == 0 {
+					break
+				}
+			}
+		}
+		if len(need) == 0 {
+			hits++
+		}
+	}
+	return hits
+}
+
+func TestGenerateQueriesStats(t *testing.T) {
+	c := small(t, 300)
+	p := DefaultQueryParams(100)
+	p.MinHits = 0 // small collection; do not starve the sampler
+	qs, err := GenerateQueries(c, p, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries, want 100", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Terms) < 2 || len(q.Terms) > 8 {
+			t.Fatalf("query size %d outside [2,8]", len(q.Terms))
+		}
+		seen := map[TermID]bool{}
+		for _, id := range q.Terms {
+			if seen[id] {
+				t.Fatalf("duplicate term in query %v", q.Terms)
+			}
+			seen[id] = true
+		}
+	}
+	avg := AvgQuerySize(qs)
+	if math.Abs(avg-3.02) > 0.6 {
+		t.Errorf("avg query size %.2f, paper reports 3.02", avg)
+	}
+}
+
+func TestGenerateQueriesHitFilter(t *testing.T) {
+	c := small(t, 200)
+	p := DefaultQueryParams(30)
+	p.MinHits = 1
+	qs, err := GenerateQueries(c, p, 20, func(q Query) int { return containsAll(c, q) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if h := containsAll(c, q); h <= 1 {
+			t.Errorf("query %v has %d hits, filter requires >1", q.Terms, h)
+		}
+	}
+}
+
+func TestGenerateQueriesTermsCoOccur(t *testing.T) {
+	// Query terms are sampled from one document window, so at least one
+	// document must contain them all.
+	c := small(t, 200)
+	p := DefaultQueryParams(50)
+	p.MinHits = 0
+	qs, err := GenerateQueries(c, p, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if containsAll(c, q) == 0 {
+			t.Errorf("query %v matches no document", q.Terms)
+		}
+	}
+}
+
+func TestGenerateQueriesDeterministic(t *testing.T) {
+	c := small(t, 100)
+	p := DefaultQueryParams(20)
+	p.MinHits = 0
+	a, _ := GenerateQueries(c, p, 20, nil)
+	b, _ := GenerateQueries(c, p, 20, nil)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic query count")
+	}
+	for i := range a {
+		if len(a[i].Terms) != len(b[i].Terms) {
+			t.Fatalf("query %d size differs", i)
+		}
+		for j := range a[i].Terms {
+			if a[i].Terms[j] != b[i].Terms[j] {
+				t.Fatalf("query %d term %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateQueriesValidation(t *testing.T) {
+	c := small(t, 10)
+	if _, err := GenerateQueries(c, QueryParams{NumQueries: 0, MinTerms: 2, MaxTerms: 8}, 20, nil); err == nil {
+		t.Error("NumQueries=0 accepted")
+	}
+	if _, err := GenerateQueries(c, QueryParams{NumQueries: 5, MinTerms: 3, MaxTerms: 2}, 20, nil); err == nil {
+		t.Error("MinTerms > MaxTerms accepted")
+	}
+	empty := &Collection{}
+	if _, err := GenerateQueries(empty, DefaultQueryParams(5), 20, nil); err == nil {
+		t.Error("empty collection accepted")
+	}
+}
+
+func TestGenerateQueriesImpossibleFilter(t *testing.T) {
+	c := small(t, 30)
+	p := DefaultQueryParams(10)
+	p.MinHits = 1 << 30 // unsatisfiable
+	if _, err := GenerateQueries(c, p, 20, func(Query) int { return 0 }); err == nil {
+		t.Error("unsatisfiable hit filter did not error")
+	}
+}

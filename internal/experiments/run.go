@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/pgrid"
+	"repro/internal/rank"
+	"repro/internal/transport"
+)
+
+// HDKStep is one (network size, DFmax) measurement.
+type HDKStep struct {
+	DFMax             int
+	StoredPerPeer     float64
+	InsertedPerPeer   float64
+	InsertedBySize    [core.MaxKeySize + 1]uint64
+	KeysBySize        [core.MaxKeySize + 1]int
+	KeysTotal         int
+	QueryPostingsAvg  float64 // Figure 6
+	OverlapAvgPercent float64 // Figure 7
+	NotifyMessages    uint64
+}
+
+// Step is one experimental run (one network size) with all engines
+// measured on the same collection prefix and query set.
+type Step struct {
+	Peers      int
+	Docs       int
+	SampleSize int // D: total term occurrences
+
+	STStoredPerPeer  float64 // Figure 3 ST series (= inserted: no truncation)
+	STQueryPostings  float64 // Figure 6 ST series
+	STOverlapPercent float64 // Figure 7 ST series
+	HDK              []HDKStep
+	QueriesMeasured  int
+	AvgQuerySize     float64
+	CentralizedTop20 int // reference results available (sanity)
+}
+
+// Results carries the whole sweep.
+type Results struct {
+	Scale Scale
+	Col   *corpus.Collection // the largest collection (steps use prefixes)
+	Steps []Step
+}
+
+// Progress receives human-readable progress lines; nil discards them.
+type Progress func(format string, args ...any)
+
+func nopProgress(string, ...any) {}
+
+// Run executes the full Section 5 sweep at the given scale: for every
+// network size it indexes the (growing) collection with the distributed
+// single-term baseline and with the HDK engine at every DFmax, runs the
+// shared query set against all of them, and records the Figures 3-7
+// quantities.
+func Run(scale Scale, progress Progress) (*Results, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if progress == nil {
+		progress = nopProgress
+	}
+	col, err := corpus.Generate(scale.GenParams())
+	if err != nil {
+		return nil, err
+	}
+	progress("corpus: %d docs, %d terms vocabulary, %d occurrences",
+		col.M(), len(col.Vocab), col.SampleSize())
+	res := &Results{Scale: scale, Col: col}
+	for _, peers := range scale.PeerSteps {
+		step, err := runStep(scale, col, peers, progress)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %d peers: %w", peers, err)
+		}
+		res.Steps = append(res.Steps, *step)
+	}
+	return res, nil
+}
+
+func runStep(scale Scale, full *corpus.Collection, peers int, progress Progress) (*Step, error) {
+	docs := peers * scale.DocsPerPeer
+	col := full.Slice(0, docs)
+	step := &Step{Peers: peers, Docs: docs, SampleSize: col.SampleSize()}
+
+	// Centralized BM25 reference (the paper's Terrier stand-in).
+	cen := baseline.NewCentralized(col, rank.DefaultBM25())
+
+	// Shared query set with the paper's >MinHits filter.
+	qp := corpus.DefaultQueryParams(scale.NumQueries)
+	qp.MinHits = scale.MinHits
+	queries, err := corpus.GenerateQueries(col, qp, scale.Window, cen.ConjunctiveHits)
+	if err != nil {
+		return nil, fmt.Errorf("query generation: %w", err)
+	}
+	step.QueriesMeasured = len(queries)
+	step.AvgQuerySize = corpus.AvgQuerySize(queries)
+	reference := make([][]rank.Result, len(queries))
+	for i, q := range queries {
+		reference[i] = cen.Search(q, 20)
+	}
+	step.CentralizedTop20 = len(reference)
+
+	// Distributed single-term baseline.
+	stats := rank.CollectionStats{NumDocs: col.M(), AvgDocLen: col.AvgDocLen()}
+	{
+		net, nodes, err := buildOverlay(scale, peers)
+		if err != nil {
+			return nil, err
+		}
+		st := baseline.NewDistributedST(net, col.Vocab,
+			baseline.GlobalStats{NumDocs: stats.NumDocs, AvgDocLen: stats.AvgDocLen}, rank.DefaultBM25())
+		for i, part := range col.SplitRoundRobin(peers) {
+			if _, err := st.IndexPeer(part, nodes[i]); err != nil {
+				return nil, err
+			}
+		}
+		step.STStoredPerPeer = float64(st.Traffic.Snapshot().StoredPostings) / float64(peers)
+		var fetched uint64
+		var overlap float64
+		for i, q := range queries {
+			res, f, err := st.Search(q, nodes[i%peers], 20)
+			if err != nil {
+				return nil, err
+			}
+			fetched += f
+			overlap += rank.Overlap(reference[i], res, 20)
+		}
+		if len(queries) > 0 {
+			step.STQueryPostings = float64(fetched) / float64(len(queries))
+			step.STOverlapPercent = overlap / float64(len(queries))
+		}
+		progress("%2d peers | %6d docs | ST: %.0f postings/peer, %.0f postings/query",
+			peers, docs, step.STStoredPerPeer, step.STQueryPostings)
+	}
+
+	// HDK engines, one per DFmax.
+	for _, dfmax := range scale.DFMaxes {
+		h, err := runHDK(scale, col, peers, dfmax, stats, queries, reference)
+		if err != nil {
+			return nil, err
+		}
+		step.HDK = append(step.HDK, *h)
+		progress("%2d peers | %6d docs | HDK df=%d: %.0f stored/peer, %.0f inserted/peer, %.0f postings/query, %.0f%% overlap",
+			peers, docs, dfmax, h.StoredPerPeer, h.InsertedPerPeer, h.QueryPostingsAvg, h.OverlapAvgPercent)
+	}
+	return step, nil
+}
+
+// buildOverlay constructs the configured substrate: the Chord-style ring
+// by default, or the P-Grid trie (the paper's own substrate) when the
+// scale selects it.
+func buildOverlay(scale Scale, peers int) (overlay.Fabric, []overlay.Member, error) {
+	if scale.Fabric == "pgrid" {
+		net := pgrid.NewNetwork(transport.NewInProc())
+		for i := 0; i < peers; i++ {
+			if _, err := net.AddPeer(fmt.Sprintf("peer-%02d", i)); err != nil {
+				return nil, nil, err
+			}
+		}
+		return net, net.Members(), nil
+	}
+	net := overlay.NewNetwork(transport.NewInProc())
+	for i := 0; i < peers; i++ {
+		if _, err := net.AddNode(fmt.Sprintf("peer-%d", i)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return net, net.Members(), nil
+}
+
+func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
+	stats rank.CollectionStats, queries []corpus.Query, reference [][]rank.Result) (*HDKStep, error) {
+	net, nodes, err := buildOverlay(scale, peers)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(stats)
+	cfg.DFMax = dfmax
+	cfg.SMax = scale.SMax
+	cfg.Window = scale.Window
+	cfg.Ff = scale.Ff
+	eng, err := core.NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		return nil, err
+	}
+	for i, part := range col.SplitRoundRobin(peers) {
+		if _, err := eng.AddPeer(nodes[i], part); err != nil {
+			return nil, err
+		}
+	}
+	// Parallel peer indexing: the final index is provably identical to a
+	// serial build (merges commute; tested in core), so the harness uses
+	// all cores.
+	eng.SetConcurrency(runtime.NumCPU())
+	if err := eng.BuildIndex(); err != nil {
+		return nil, err
+	}
+	istats := eng.Stats()
+	traffic := eng.Traffic().Snapshot()
+	h := &HDKStep{
+		DFMax:           dfmax,
+		StoredPerPeer:   float64(istats.StoredTotal) / float64(peers),
+		InsertedPerPeer: float64(traffic.InsertedTotal) / float64(peers),
+		KeysTotal:       istats.KeysTotal,
+		NotifyMessages:  traffic.NotifyMessages,
+	}
+	h.InsertedBySize = traffic.InsertedBySize
+	h.KeysBySize = istats.KeysBySize
+
+	var fetched uint64
+	var overlap float64
+	for i, q := range queries {
+		res, err := eng.Search(q, nodes[i%peers], 20)
+		if err != nil {
+			return nil, err
+		}
+		fetched += res.FetchedPosts
+		overlap += rank.Overlap(reference[i], res.Results, 20)
+	}
+	if len(queries) > 0 {
+		h.QueryPostingsAvg = float64(fetched) / float64(len(queries))
+		h.OverlapAvgPercent = overlap / float64(len(queries))
+	}
+	return h, nil
+}
+
+// WriteSummary renders a one-paragraph sweep summary.
+func (r *Results) WriteSummary(w io.Writer) {
+	last := r.Steps[len(r.Steps)-1]
+	fmt.Fprintf(w, "Sweep %q: %d steps up to %d peers / %d docs.\n",
+		r.Scale.Name, len(r.Steps), last.Peers, last.Docs)
+	for _, h := range last.HDK {
+		ratio := h.StoredPerPeer / last.STStoredPerPeer
+		fmt.Fprintf(w, "  DFmax=%d: HDK stores %.1fx the ST postings; %.0f vs %.0f postings/query (%.1fx less retrieval traffic); overlap %.0f%% (ST %.0f%%).\n",
+			h.DFMax, ratio, h.QueryPostingsAvg, last.STQueryPostings,
+			last.STQueryPostings/h.QueryPostingsAvg, h.OverlapAvgPercent, last.STOverlapPercent)
+	}
+}

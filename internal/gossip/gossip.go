@@ -1,0 +1,338 @@
+// Package gossip computes the global collection statistics the engines
+// need (document count, average document length, the very-frequent-term
+// set of the Ff cutoff) without any central coordinator — the way the
+// paper's prototype lineage distributes them (PlanetP gossips collection
+// summaries; MINERVA keeps per-peer statistics in the overlay). This
+// replaces the repository's documented simplification of handing
+// precomputed GlobalStats to every peer: with this package, peers learn
+// them from each other.
+//
+// Two mechanisms:
+//
+//   - Push-sum averaging (Kempe et al.): every peer holds a (value,
+//     weight) pair per quantity and repeatedly splits and sends half to a
+//     random peer; all estimates converge to the global sum. Sums of
+//     document counts and token counts yield NumDocs and AvgDocLen.
+//
+//   - Origin-tagged threshold-union for the very frequent terms: a term
+//     with global collection frequency above Ff must have a local
+//     frequency above Ff/N on at least one of the N peers, so the union
+//     of per-peer "locally heavy" candidate sets contains every global
+//     VF term. Each candidate entry carries its origin peer and exact
+//     local count; union dissemination is idempotent. Because peers
+//     below the floor still hold part of a candidate's mass, the
+//     protocol runs two phases: candidates disseminate, then every peer
+//     contributes its own exact count for each candidate it has heard of
+//     (FillCandidates), and the completed entries disseminate further.
+//     Summing an agent's gathered per-origin counts then yields the
+//     exact global frequency of every candidate — with traffic
+//     proportional to the small candidate set, not the vocabulary.
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/rank"
+)
+
+const svcGossip = "gossip.push"
+
+// Agent is one peer's gossip state.
+type Agent struct {
+	member overlay.Member
+	fab    overlay.Fabric
+
+	mu sync.Mutex
+	// Push-sum state. weight starts at 1 on every peer, so value/weight
+	// converges to the per-peer mean; totals are recovered by
+	// multiplying with the membership size, which every peer knows from
+	// its overlay routing state.
+	docs, tokens, weight float64
+	// Candidate heavy terms, origin-tagged: (origin peer, term) -> that
+	// origin's exact local collection frequency. Entries are immutable,
+	// so union-merge is idempotent and per-term sums are exact.
+	heavy map[heavyKey]int64
+	// localFreqs retains this peer's exact per-term counts so
+	// FillCandidates can contribute them for candidates other peers
+	// surfaced.
+	localFreqs map[corpus.TermID]int64
+
+	rng *rand.Rand
+}
+
+// heavyKey identifies one peer's contribution to one candidate term.
+type heavyKey struct {
+	origin overlay.ID
+	term   corpus.TermID
+}
+
+// NewAgent attaches gossip state for a peer owning the given local
+// documents. candidateFloor is the local-frequency threshold above which
+// a term is shipped as a VF candidate; callers use Ff/N (or any lower
+// bound on it, e.g. Ff/maxPeers, when N itself is unknown a priori).
+func NewAgent(fab overlay.Fabric, m overlay.Member, local *corpus.Collection, candidateFloor int, seed int64) *Agent {
+	a := &Agent{
+		member: m,
+		fab:    fab,
+		weight: 1,
+		heavy:  make(map[heavyKey]int64),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	a.localFreqs = make(map[corpus.TermID]int64)
+	for i := range local.Docs {
+		a.docs++
+		a.tokens += float64(len(local.Docs[i].Terms))
+		for _, t := range local.Docs[i].Terms {
+			a.localFreqs[t]++
+		}
+	}
+	if candidateFloor < 1 {
+		candidateFloor = 1
+	}
+	for t, f := range a.localFreqs {
+		if f > int64(candidateFloor) {
+			a.heavy[heavyKey{origin: m.ID(), term: t}] = f
+		}
+	}
+	m.Handle(svcGossip, a.handlePush)
+	return a
+}
+
+// Step performs one push-sum round: half of this agent's mass is sent to
+// a uniformly random other member, half is kept. The origin-tagged
+// heavy-candidate set rides along and is union-merged at the receiver
+// (idempotent: every entry is one origin's constant local count).
+func (a *Agent) Step(members []overlay.Member) error {
+	if len(members) < 2 {
+		return nil
+	}
+	a.mu.Lock()
+	// Split mass.
+	a.docs /= 2
+	a.tokens /= 2
+	a.weight /= 2
+	payload := encodePush(pushMsg{
+		Docs: a.docs, Tokens: a.tokens, Weight: a.weight,
+		Heavy: a.heavySnapshotLocked(),
+	})
+	a.mu.Unlock()
+
+	// Pick a random peer other than self.
+	var target overlay.Member
+	for {
+		target = members[a.rng.Intn(len(members))]
+		if target.ID() != a.member.ID() {
+			break
+		}
+	}
+	_, err := a.fab.CallService(target.Addr(), svcGossip, payload)
+	return err
+}
+
+// heavySnapshotLocked copies the candidate map for the wire.
+func (a *Agent) heavySnapshotLocked() map[heavyKey]int64 {
+	out := make(map[heavyKey]int64, len(a.heavy))
+	for k, f := range a.heavy {
+		out[k] = f
+	}
+	return out
+}
+
+func (a *Agent) handlePush(req []byte) ([]byte, error) {
+	msg, err := decodePush(req)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.docs += msg.Docs
+	a.tokens += msg.Tokens
+	a.weight += msg.Weight
+	for k, f := range msg.Heavy {
+		a.heavy[k] = f
+	}
+	return nil, nil
+}
+
+// Estimate returns this agent's current view of the global statistics.
+// After O(log N + log 1/ε) rounds every agent's estimate is within ε of
+// the true values (push-sum convergence). The membership size comes from
+// the overlay's routing state.
+func (a *Agent) Estimate() (stats rank.CollectionStats, peers float64) {
+	n := float64(a.fab.Size())
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.weight == 0 || n == 0 {
+		return rank.CollectionStats{}, 0
+	}
+	totalDocs := a.docs / a.weight * n
+	totalTokens := a.tokens / a.weight * n
+	s := rank.CollectionStats{NumDocs: int(math.Round(totalDocs))}
+	if totalDocs > 0 {
+		s.AvgDocLen = totalTokens / totalDocs
+	}
+	return s, n
+}
+
+// GlobalFrequencies returns the agent's current view of the global
+// collection frequency of every candidate term: the sum of gathered
+// per-origin local counts. Once dissemination completes, values are
+// exact for every term whose global frequency exceeds N*candidateFloor.
+func (a *Agent) GlobalFrequencies() map[corpus.TermID]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[corpus.TermID]int64)
+	for k, f := range a.heavy {
+		out[k.term] += f
+	}
+	return out
+}
+
+// VeryFrequentTerms returns the candidate terms whose summed global
+// frequency exceeds ff, sorted — the exact Ff cutoff set when
+// candidateFloor <= ff/N and dissemination has completed.
+func (a *Agent) VeryFrequentTerms(ff int64) []corpus.TermID {
+	sums := a.GlobalFrequencies()
+	out := make([]corpus.TermID, 0, len(sums))
+	for t, f := range sums {
+		if f > ff {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FillCandidates contributes this peer's exact local count for every
+// candidate term it has heard of (phase two of the heavy-term protocol).
+func (a *Agent) FillCandidates() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	terms := make(map[corpus.TermID]struct{}, len(a.heavy))
+	for k := range a.heavy {
+		terms[k.term] = struct{}{}
+	}
+	for t := range terms {
+		if f := a.localFreqs[t]; f > 0 {
+			a.heavy[heavyKey{origin: a.member.ID(), term: t}] = f
+		}
+	}
+}
+
+// Run executes the whole protocol for a set of agents: half the rounds
+// disseminate candidates, every peer then fills in its counts for the
+// candidates it has heard of, and the remaining rounds disseminate the
+// completed entries. A round-synchronous driver keeps the simulation
+// deterministic; production deployments run the same Step/FillCandidates
+// on timers.
+func Run(agents []*Agent, rounds int) error {
+	if len(agents) == 0 {
+		return errors.New("gossip: no agents")
+	}
+	members := agents[0].fab.Members()
+	phase := func(n int) error {
+		for r := 0; r < n; r++ {
+			for _, a := range agents {
+				if err := a.Step(members); err != nil {
+					return fmt.Errorf("gossip: round %d: %w", r, err)
+				}
+			}
+		}
+		return nil
+	}
+	if err := phase(rounds - rounds/2); err != nil {
+		return err
+	}
+	for _, a := range agents {
+		a.FillCandidates()
+	}
+	return phase(rounds / 2)
+}
+
+// RecommendedRounds returns a round budget that converges push-sum well
+// below 1% error for n peers.
+func RecommendedRounds(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return 4*int(math.Ceil(math.Log2(float64(n)))) + 12
+}
+
+// --- wire ------------------------------------------------------------------
+
+type pushMsg struct {
+	Docs, Tokens, Weight float64
+	Heavy                map[heavyKey]int64
+}
+
+func encodePush(m pushMsg) []byte {
+	buf := make([]byte, 0, 26+len(m.Heavy)*12)
+	for _, v := range []float64{m.Docs, m.Tokens, m.Weight} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Heavy)))
+	keys := make([]heavyKey, 0, len(m.Heavy))
+	for k := range m.Heavy {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].term < keys[j].term
+	})
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(k.origin))
+		buf = binary.AppendUvarint(buf, uint64(k.term))
+		buf = binary.AppendUvarint(buf, uint64(m.Heavy[k]))
+	}
+	return buf
+}
+
+var errCorrupt = errors.New("gossip: corrupt message")
+
+func decodePush(buf []byte) (pushMsg, error) {
+	var m pushMsg
+	if len(buf) < 24 {
+		return m, errCorrupt
+	}
+	vals := make([]float64, 3)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	m.Docs, m.Tokens, m.Weight = vals[0], vals[1], vals[2]
+	off := 24
+	n, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 || n > uint64(len(buf)) {
+		return m, errCorrupt
+	}
+	off += sz
+	m.Heavy = make(map[heavyKey]int64, n)
+	for i := uint64(0); i < n; i++ {
+		origin, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 {
+			return m, errCorrupt
+		}
+		off += sz
+		t, sz2 := binary.Uvarint(buf[off:])
+		if sz2 <= 0 || t > math.MaxUint32 {
+			return m, errCorrupt
+		}
+		off += sz2
+		f, sz3 := binary.Uvarint(buf[off:])
+		if sz3 <= 0 {
+			return m, errCorrupt
+		}
+		off += sz3
+		m.Heavy[heavyKey{origin: overlay.ID(origin), term: corpus.TermID(t)}] = int64(f)
+	}
+	return m, nil
+}

@@ -1,0 +1,174 @@
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/transport"
+)
+
+// setup builds N agents over a Chord fabric with a split collection.
+func setup(t testing.TB, peers, docs int, floor int) ([]*Agent, *corpus.Collection) {
+	t.Helper()
+	p := corpus.DefaultGenParams(docs)
+	p.AvgDocLen = 50
+	col, err := corpus.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := overlay.NewNetwork(transport.NewInProc())
+	var agents []*Agent
+	for i, part := range col.SplitRoundRobin(peers) {
+		node, err := net.AddNode(fmt.Sprintf("peer-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, NewAgent(net, node, part, floor, int64(i+1)))
+	}
+	return agents, col
+}
+
+func TestPushSumConvergesToGlobalStats(t *testing.T) {
+	const peers = 12
+	agents, col := setup(t, peers, 240, 1<<30)
+	if err := Run(agents, RecommendedRounds(peers)); err != nil {
+		t.Fatal(err)
+	}
+	wantDocs := float64(col.M())
+	wantAvg := col.AvgDocLen()
+	for i, a := range agents {
+		stats, n := a.Estimate()
+		if math.Abs(n-peers) > 0.01 {
+			t.Errorf("agent %d: peer estimate %.2f, want %d", i, n, peers)
+		}
+		if math.Abs(float64(stats.NumDocs)-wantDocs) > 0.02*wantDocs {
+			t.Errorf("agent %d: NumDocs %d, want ~%.0f", i, stats.NumDocs, wantDocs)
+		}
+		if math.Abs(stats.AvgDocLen-wantAvg) > 0.02*wantAvg {
+			t.Errorf("agent %d: AvgDocLen %.2f, want ~%.2f", i, stats.AvgDocLen, wantAvg)
+		}
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// The total (value, weight) mass across agents is invariant under
+	// Steps — the push-sum correctness core.
+	const peers = 8
+	agents, col := setup(t, peers, 160, 1<<30)
+	sum := func() (d, tok, w float64) {
+		for _, a := range agents {
+			a.mu.Lock()
+			d += a.docs
+			tok += a.tokens
+			w += a.weight
+			a.mu.Unlock()
+		}
+		return d, tok, w
+	}
+	d0, t0, w0 := sum()
+	if d0 != float64(col.M()) {
+		t.Fatalf("initial doc mass %.0f, want %d", d0, col.M())
+	}
+	if err := Run(agents, 10); err != nil {
+		t.Fatal(err)
+	}
+	d1, t1, w1 := sum()
+	if math.Abs(d1-d0) > 1e-6*d0 || math.Abs(t1-t0) > 1e-6*t0 || math.Abs(w1-w0) > 1e-9 {
+		t.Fatalf("mass not conserved: docs %.6f->%.6f tokens %.2f->%.2f weight %.6f->%.6f",
+			d0, d1, t0, t1, w0, w1)
+	}
+}
+
+func TestVeryFrequentTermsExact(t *testing.T) {
+	// With candidateFloor <= Ff/N, the gossiped VF set equals the exact
+	// global cutoff set after dissemination.
+	const peers = 8
+	ff := int64(80)
+	agents, col := setup(t, peers, 200, int(ff)/peers)
+	if err := Run(agents, RecommendedRounds(peers)); err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth.
+	want := map[corpus.TermID]bool{}
+	for id, f := range col.TermFrequencies() {
+		if int64(f) > ff {
+			want[corpus.TermID(id)] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no VF terms at Ff=80 — tighten the generator")
+	}
+	for i, a := range agents {
+		got := a.VeryFrequentTerms(ff)
+		if len(got) != len(want) {
+			t.Fatalf("agent %d: %d VF terms, want %d", i, len(got), len(want))
+		}
+		for _, tm := range got {
+			if !want[tm] {
+				t.Fatalf("agent %d: term %d wrongly flagged VF", i, tm)
+			}
+		}
+		// And the summed frequencies are exact for the flagged terms.
+		freqs := col.TermFrequencies()
+		sums := a.GlobalFrequencies()
+		for _, tm := range got {
+			if sums[tm] != int64(freqs[tm]) {
+				t.Fatalf("agent %d: term %d gossiped f=%d, true %d", i, tm, sums[tm], freqs[tm])
+			}
+		}
+	}
+}
+
+func TestSingleAgentNoop(t *testing.T) {
+	agents, col := setup(t, 1, 30, 1<<30)
+	if err := Run(agents, 5); err != nil {
+		t.Fatal(err)
+	}
+	stats, n := agents[0].Estimate()
+	if n != 1 || stats.NumDocs != col.M() {
+		t.Fatalf("single agent estimate: n=%g docs=%d, want 1/%d", n, stats.NumDocs, col.M())
+	}
+}
+
+func TestRunNoAgents(t *testing.T) {
+	if err := Run(nil, 3); err == nil {
+		t.Fatal("empty agent set accepted")
+	}
+}
+
+func TestPushMessageRoundTrip(t *testing.T) {
+	m := pushMsg{
+		Docs: 12.5, Tokens: 900.25, Weight: 0.375,
+		Heavy: map[heavyKey]int64{
+			{origin: 7, term: 3}:   55,
+			{origin: 9, term: 3}:   11,
+			{origin: 7, term: 100}: 2,
+		},
+	}
+	got, err := decodePush(encodePush(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Docs != m.Docs || got.Tokens != m.Tokens || got.Weight != m.Weight {
+		t.Fatalf("scalars: %+v", got)
+	}
+	if len(got.Heavy) != len(m.Heavy) {
+		t.Fatalf("heavy size %d, want %d", len(got.Heavy), len(m.Heavy))
+	}
+	for k, v := range m.Heavy {
+		if got.Heavy[k] != v {
+			t.Fatalf("entry %+v: %d, want %d", k, got.Heavy[k], v)
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	for i, buf := range [][]byte{nil, {1, 2, 3}, make([]byte, 24)} {
+		if _, err := decodePush(buf); err == nil && i < 2 {
+			t.Errorf("case %d: corrupt push accepted", i)
+		}
+	}
+}

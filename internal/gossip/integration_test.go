@@ -1,0 +1,112 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/transport"
+)
+
+// TestEngineFromGossipedStats builds the HDK engine using only
+// decentralized knowledge: collection statistics from push-sum and the
+// very-frequent-term cutoff from the heavy-term protocol — no central
+// scan of the global collection. The resulting key population must equal
+// the engine built with centrally computed statistics (classification is
+// df-based and the gossiped VF set is exact).
+func TestEngineFromGossipedStats(t *testing.T) {
+	const peers = 6
+	p := corpus.GenParams{
+		NumDocs: 150, VocabSize: 400, AvgDocLen: 40,
+		Skew: 1.0, NumTopics: 6, TopicTerms: 40, TopicMix: 0.5, Seed: 5,
+	}
+	col, err := corpus.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := 120
+
+	// Phase 1: gossip over the same overlay that will host the index.
+	net := overlay.NewNetwork(transport.NewInProc())
+	nodes := make([]*overlay.Node, peers)
+	parts := col.SplitRoundRobin(peers)
+	agents := make([]*Agent, peers)
+	for i := range nodes {
+		if nodes[i], err = net.AddNode(fmt.Sprintf("peer-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = NewAgent(net, nodes[i], parts[i], ff/peers, int64(i+1))
+	}
+	if err := Run(agents, RecommendedRounds(peers)); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := agents[0].Estimate()
+	vf := agents[0].VeryFrequentTerms(int64(ff))
+
+	// Synthesize the term-frequency view the engine derives its VF flags
+	// from: exactly the gossiped cutoff set.
+	termFreqs := make([]int, len(col.Vocab))
+	for _, tm := range vf {
+		termFreqs[tm] = ff + 1
+	}
+
+	cfg := core.DefaultConfig(stats)
+	cfg.DFMax = 6
+	cfg.Window = 8
+	cfg.Ff = ff
+	eng, err := core.NewEngine(net, cfg, col.Vocab, termFreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		if _, err := eng.AddPeer(nodes[i], parts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: same config with centrally computed term frequencies.
+	refNet := overlay.NewNetwork(transport.NewInProc())
+	refNodes := make([]*overlay.Node, peers)
+	for i := range refNodes {
+		if refNodes[i], err = refNet.AddNode(fmt.Sprintf("peer-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refEng, err := core.NewEngine(refNet, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refNodes {
+		if _, err := refEng.AddPeer(refNodes[i], parts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := refEng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := eng.Stats(), refEng.Stats()
+	if got.KeysTotal != want.KeysTotal || got.StoredTotal != want.StoredTotal {
+		t.Fatalf("gossip-configured engine diverged: keys %d vs %d, stored %d vs %d",
+			got.KeysTotal, want.KeysTotal, got.StoredTotal, want.StoredTotal)
+	}
+	for s := 1; s <= cfg.SMax; s++ {
+		if got.KeysBySize[s] != want.KeysBySize[s] {
+			t.Fatalf("size %d: %d keys vs %d", s, got.KeysBySize[s], want.KeysBySize[s])
+		}
+	}
+
+	// And searching works against the gossip-built index.
+	res, err := eng.Search(corpus.Query{Terms: col.Docs[2].Terms[:2]}, nodes[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbedKeys == 0 {
+		t.Fatal("no keys probed on the gossip-built index")
+	}
+}

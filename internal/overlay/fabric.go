@@ -1,0 +1,82 @@
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Member is one participant of a structured overlay, as seen by the
+// index layers: an identifier, a transport address, and a service
+// registry. *Node implements it; so does the P-Grid peer type.
+type Member interface {
+	ID() ID
+	Addr() string
+	Handle(service string, h transport.Handler)
+}
+
+// Fabric is the DHT abstraction the paper's model actually requires:
+// "key → responsible peer" with multi-hop routing, plus service RPC. The
+// Chord-style Network and the P-Grid trie both implement it, so the HDK
+// engine runs unchanged on either substrate.
+type Fabric interface {
+	// Members returns the current membership in deterministic order.
+	Members() []Member
+	// OwnerOf returns the member responsible for key (false on an empty
+	// overlay) without routing — the ground-truth mapping.
+	OwnerOf(key string) (Member, bool)
+	// Route finds the owner of key starting from a member, returning
+	// the hop count.
+	Route(from Member, key string) (Member, int, error)
+	// CallService invokes a named service on the member bound at addr.
+	CallService(addr, service string, req []byte) ([]byte, error)
+	// Size returns the membership count.
+	Size() int
+}
+
+// Churn is optionally implemented by fabrics supporting node departure.
+type Churn interface {
+	RemoveNode(ID) bool
+}
+
+// Members implements Fabric.
+func (n *Network) Members() []Member {
+	nodes := n.Nodes()
+	out := make([]Member, len(nodes))
+	for i, nd := range nodes {
+		out[i] = nd
+	}
+	return out
+}
+
+// OwnerOf implements Fabric.
+func (n *Network) OwnerOf(key string) (Member, bool) {
+	owner := n.Owner(key)
+	if owner == nil {
+		return nil, false
+	}
+	return owner, true
+}
+
+// Route implements Fabric.
+func (n *Network) Route(from Member, key string) (Member, int, error) {
+	start, ok := from.(*Node)
+	if !ok {
+		start, ok = n.node(from.ID())
+		if !ok {
+			return nil, 0, fmt.Errorf("overlay: route from unknown member %x", from.ID())
+		}
+	}
+	owner, hops, err := n.Lookup(start, key)
+	if err != nil {
+		return nil, hops, err
+	}
+	return owner, hops, nil
+}
+
+// Compile-time checks.
+var (
+	_ Fabric = (*Network)(nil)
+	_ Member = (*Node)(nil)
+	_ Churn  = (*Network)(nil)
+)

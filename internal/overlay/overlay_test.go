@@ -1,0 +1,261 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transport"
+)
+
+func buildNet(t *testing.T, n int) *Network {
+	t.Helper()
+	net := NewNetwork(transport.NewInProc())
+	for i := 0; i < n; i++ {
+		if _, err := net.AddNode(fmt.Sprintf("peer-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		a, b, x ID
+		want    bool
+	}{
+		{1, 5, 3, true},
+		{1, 5, 5, true},
+		{1, 5, 1, false},
+		{1, 5, 6, false},
+		{10, 2, 11, true}, // wrap
+		{10, 2, 1, true},  // wrap
+		{10, 2, 2, true},  // wrap, inclusive upper
+		{10, 2, 5, false},
+	}
+	for _, c := range cases {
+		if got := between(c.a, c.b, c.x); got != c.want {
+			t.Errorf("between(%d,%d,%d) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashKey("abc") != HashKey("abc") {
+		t.Fatal("HashKey not deterministic")
+	}
+	if HashKey("abc") == HashKey("abd") {
+		t.Fatal("suspicious collision")
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16, 28, 64} {
+		net := buildNet(t, n)
+		nodes := net.Nodes()
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			want := net.Owner(key)
+			start := nodes[i%len(nodes)]
+			got, hops, err := net.Lookup(start, key)
+			if err != nil {
+				t.Fatalf("n=%d key=%s: %v", n, key, err)
+			}
+			if got.ID() != want.ID() {
+				t.Fatalf("n=%d key=%s: lookup owner %x, want %x", n, key, got.ID(), want.ID())
+			}
+			if hops < 1 {
+				t.Fatalf("hops = %d, want >= 1", hops)
+			}
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	net := buildNet(t, 64)
+	nodes := net.Nodes()
+	total, count := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		_, hops, err := net.Lookup(nodes[i%len(nodes)], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+		count++
+	}
+	mean := float64(total) / float64(count)
+	// log2(64) = 6; iterative Chord averages ~log2(N)/2 + 1 forwarding
+	// steps. Anything near-linear signals broken finger tables.
+	if mean > 10 {
+		t.Fatalf("mean hops %.1f on 64 nodes, want O(log N)", mean)
+	}
+	c, m := net.LookupStats()
+	if c != uint64(count) {
+		t.Errorf("LookupStats count = %d, want %d", c, count)
+	}
+	if m != mean {
+		t.Errorf("LookupStats mean = %g, want %g", m, mean)
+	}
+}
+
+func TestOwnerConsistentAcrossStarts(t *testing.T) {
+	net := buildNet(t, 16)
+	nodes := net.Nodes()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("q%d", i)
+		var owner ID
+		for j, start := range nodes {
+			got, _, err := net.Lookup(start, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j == 0 {
+				owner = got.ID()
+			} else if got.ID() != owner {
+				t.Fatalf("key %s: owner differs by start node", key)
+			}
+		}
+	}
+}
+
+func TestJoinPreservesOwnership(t *testing.T) {
+	// The paper's growth protocol: peers join in batches; lookups must
+	// stay consistent with the ground-truth successor mapping after every
+	// join.
+	net := buildNet(t, 4)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			if _, err := net.AddNode(fmt.Sprintf("joiner-%d-%d", round, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes := net.Nodes()
+		for i := 0; i < 60; i++ {
+			key := fmt.Sprintf("doc-%d", i)
+			got, _, err := net.Lookup(nodes[i%len(nodes)], key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := net.Owner(key); got.ID() != want.ID() {
+				t.Fatalf("after join round %d: wrong owner for %s", round, key)
+			}
+		}
+	}
+	if net.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", net.Size())
+	}
+}
+
+func TestKeyDistributionRoughlyBalanced(t *testing.T) {
+	net := buildNet(t, 16)
+	counts := map[ID]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[net.Owner(fmt.Sprintf("key:%d", i)).ID()]++
+	}
+	// Consistent hashing without virtual nodes is skewed, but every node
+	// must own something and no node should own the majority.
+	if len(counts) != 16 {
+		t.Fatalf("only %d/16 nodes own keys", len(counts))
+	}
+	for id, c := range counts {
+		if c > keys/2 {
+			t.Errorf("node %x owns %d/%d keys", id, c, keys)
+		}
+	}
+}
+
+func TestServiceDispatch(t *testing.T) {
+	net := buildNet(t, 4)
+	target := net.Nodes()[2]
+	target.Handle("echo", func(req []byte) ([]byte, error) {
+		return append([]byte("svc:"), req...), nil
+	})
+	resp, err := net.CallService(target.Addr(), "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "svc:ping" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if _, err := net.CallService(target.Addr(), "missing", nil); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	prop := func(service string, payload []byte) bool {
+		s, p, err := decodeEnvelope(encodeEnvelope(service, payload))
+		if err != nil {
+			return false
+		}
+		if s != service || len(p) != len(payload) {
+			return false
+		}
+		for i := range p {
+			if p[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvelopeCorrupt(t *testing.T) {
+	if _, _, err := decodeEnvelope([]byte{0xff}); err == nil {
+		t.Error("truncated envelope accepted")
+	}
+	if _, _, err := decodeEnvelope([]byte{10, 'a'}); err == nil {
+		t.Error("short envelope accepted")
+	}
+}
+
+func TestDuplicateNodeAddr(t *testing.T) {
+	net := NewNetwork(transport.NewInProc())
+	if _, err := net.AddNode("same"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddNode("same"); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}
+
+func TestOverlayOverTCP(t *testing.T) {
+	// The same overlay code must run over the real TCP transport.
+	tr := transport.NewTCP()
+	defer tr.Close()
+	net := NewNetwork(tr)
+	for i := 0; i < 4; i++ {
+		if _, err := net.AddNode("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes := net.Nodes()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("tcp-key-%d", i)
+		got, _, err := net.Lookup(nodes[i%4], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := net.Owner(key); got.ID() != want.ID() {
+			t.Fatalf("TCP lookup wrong owner for %s", key)
+		}
+	}
+}
+
+func BenchmarkLookup28Peers(b *testing.B) {
+	net := NewNetwork(transport.NewInProc())
+	for i := 0; i < 28; i++ {
+		net.AddNode(fmt.Sprintf("peer-%d", i))
+	}
+	nodes := net.Nodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Lookup(nodes[i%28], fmt.Sprintf("key-%d", i))
+	}
+}

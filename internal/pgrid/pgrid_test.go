@@ -1,0 +1,205 @@
+package pgrid
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func build(t testing.TB, n int) *Network {
+	t.Helper()
+	net := NewNetwork(transport.NewInProc())
+	for i := 0; i < n; i++ {
+		if _, err := net.AddPeer(fmt.Sprintf("pg-%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestPathsPartitionKeyspace(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 28, 64} {
+		net := build(t, n)
+		// Paths must be prefix-free and complete: every key has exactly
+		// one owner.
+		var paths []string
+		for _, m := range net.Members() {
+			paths = append(paths, m.(*Peer).Path())
+		}
+		for i := range paths {
+			for j := range paths {
+				if i != j && strings.HasPrefix(paths[i], paths[j]) {
+					t.Fatalf("n=%d: path %q prefixes %q", n, paths[j], paths[i])
+				}
+			}
+		}
+		for k := 0; k < 300; k++ {
+			key := fmt.Sprintf("key-%d", k)
+			owners := 0
+			kb := keyBits(key)
+			for _, path := range paths {
+				if strings.HasPrefix(kb, path) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("n=%d: key %q has %d owners", n, key, owners)
+			}
+		}
+	}
+}
+
+func TestPathsBalanced(t *testing.T) {
+	net := build(t, 28)
+	min, max := 64, 0
+	for _, m := range net.Members() {
+		l := len(m.(*Peer).Path())
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// 28 peers: depth 4 or 5 everywhere.
+	if min < 4 || max > 5 {
+		t.Fatalf("path depths span [%d,%d], want [4,5]", min, max)
+	}
+}
+
+func TestRouteFindsOwner(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 16, 28} {
+		net := build(t, n)
+		members := net.Members()
+		for k := 0; k < 150; k++ {
+			key := fmt.Sprintf("doc-%d", k)
+			want, ok := net.OwnerOf(key)
+			if !ok {
+				t.Fatalf("n=%d: no owner for %q", n, key)
+			}
+			start := members[k%len(members)]
+			got, hops, err := net.Route(start, key)
+			if err != nil {
+				t.Fatalf("n=%d key=%q: %v", n, key, err)
+			}
+			if got.ID() != want.ID() {
+				t.Fatalf("n=%d key=%q: routed to %x, owner is %x", n, key, got.ID(), want.ID())
+			}
+			if maxHops := 7; hops > maxHops {
+				t.Fatalf("n=%d: %d hops exceeds trie depth bound", n, hops)
+			}
+		}
+	}
+}
+
+func TestRouteHopsLogarithmic(t *testing.T) {
+	net := build(t, 64)
+	members := net.Members()
+	for k := 0; k < 400; k++ {
+		if _, _, err := net.Route(members[k%64], fmt.Sprintf("k%d", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, mean := net.LookupStats()
+	// Trie depth is 6 for 64 peers; mean should sit well under it +1.
+	if mean > 7 {
+		t.Fatalf("mean hops %.2f on 64 peers, want <= depth+1", mean)
+	}
+}
+
+func TestServiceDispatch(t *testing.T) {
+	net := build(t, 4)
+	target := net.Members()[1]
+	target.Handle("echo", func(req []byte) ([]byte, error) {
+		return append([]byte("pg:"), req...), nil
+	})
+	resp, err := net.CallService(target.Addr(), "echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "pg:hi" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if _, err := net.CallService(target.Addr(), "nope", nil); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestRemoveNodeRepartitions(t *testing.T) {
+	net := build(t, 9)
+	victim := net.Members()[3]
+	if !net.RemoveNode(victim.ID()) {
+		t.Fatal("member not removed")
+	}
+	if net.RemoveNode(victim.ID()) {
+		t.Fatal("double removal succeeded")
+	}
+	if net.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", net.Size())
+	}
+	members := net.Members()
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("after-%d", k)
+		want, ok := net.OwnerOf(key)
+		if !ok {
+			t.Fatalf("no owner for %q after leave", key)
+		}
+		got, _, err := net.Route(members[k%len(members)], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != want.ID() {
+			t.Fatalf("wrong owner for %q after leave", key)
+		}
+	}
+}
+
+func TestSinglePeerOwnsEverything(t *testing.T) {
+	net := build(t, 1)
+	solo := net.Members()[0]
+	if p := solo.(*Peer).Path(); p != "" {
+		t.Fatalf("single peer path %q, want empty", p)
+	}
+	owner, _, err := net.Route(solo, "anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner.ID() != solo.ID() {
+		t.Fatal("single peer does not own its keyspace")
+	}
+}
+
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	net := build(t, 16)
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		owner, _ := net.OwnerOf(fmt.Sprintf("key:%d", i))
+		counts[owner.Addr()]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("only %d/16 peers own keys", len(counts))
+	}
+	// Power-of-two membership: perfectly balanced trie, so each peer
+	// should hold ~1/16 ± sampling noise.
+	for addr, c := range counts {
+		if c < keys/32 || c > keys/8 {
+			t.Errorf("peer %s owns %d/%d keys", addr, c, keys)
+		}
+	}
+}
+
+func BenchmarkRoute28Peers(b *testing.B) {
+	net := NewNetwork(transport.NewInProc())
+	for i := 0; i < 28; i++ {
+		net.AddPeer(fmt.Sprintf("pg-%02d", i))
+	}
+	members := net.Members()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Route(members[i%28], fmt.Sprintf("key-%d", i))
+	}
+}

@@ -1,0 +1,257 @@
+// Package postings implements the posting-list primitives shared by every
+// index in the repository: sorted document-id lists with per-posting
+// relevance scores, set operations (union, intersection, merge), top-k
+// truncation by score (the paper's "top-DFmax postings associated with
+// NDKs"), and a compact varint-delta wire codec used to account for and
+// transmit index traffic.
+package postings
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/corpus"
+)
+
+// Posting associates a document with the relevance score its index-side
+// peer computed for the key (the paper's distributed content-based
+// ranking: postings travel with their partial scores).
+type Posting struct {
+	Doc   corpus.DocID
+	Score float32
+}
+
+// List is a posting list sorted by ascending document id with unique docs.
+type List []Posting
+
+// FromDocs builds a list with zero scores from raw doc ids.
+func FromDocs(docs []corpus.DocID) List {
+	l := make(List, len(docs))
+	for i, d := range docs {
+		l[i] = Posting{Doc: d}
+	}
+	l.Normalize()
+	return l
+}
+
+// Docs extracts the document ids.
+func (l List) Docs() []corpus.DocID {
+	out := make([]corpus.DocID, len(l))
+	for i, p := range l {
+		out[i] = p.Doc
+	}
+	return out
+}
+
+// Normalize sorts by doc id and merges duplicate docs keeping the highest
+// score. It returns the (possibly shortened) list in place.
+func (l *List) Normalize() {
+	s := *l
+	sort.Slice(s, func(i, j int) bool { return s[i].Doc < s[j].Doc })
+	out := s[:0]
+	for _, p := range s {
+		if n := len(out); n > 0 && out[n-1].Doc == p.Doc {
+			if p.Score > out[n-1].Score {
+				out[n-1].Score = p.Score
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	*l = out
+}
+
+// IsSorted reports whether the list is strictly sorted by doc id (the
+// invariant all package operations assume and preserve).
+func (l List) IsSorted() bool {
+	for i := 1; i < len(l); i++ {
+		if l[i-1].Doc >= l[i].Doc {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether doc is present (binary search).
+func (l List) Contains(doc corpus.DocID) bool {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Doc >= doc })
+	return i < len(l) && l[i].Doc == doc
+}
+
+// Union merges two sorted lists; on common docs, scores add (query-side
+// score aggregation across keys: a document reached via several keys
+// accumulates their partial scores).
+func Union(a, b List) List {
+	out := make(List, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Doc < b[j].Doc:
+			out = append(out, a[i])
+			i++
+		case a[i].Doc > b[j].Doc:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, Posting{Doc: a[i].Doc, Score: a[i].Score + b[j].Score})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Intersect keeps docs present in both lists, adding scores.
+func Intersect(a, b List) List {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := make(List, 0, len(a))
+	j := 0
+	for _, p := range a {
+		for j < len(b) && b[j].Doc < p.Doc {
+			j++
+		}
+		if j < len(b) && b[j].Doc == p.Doc {
+			out = append(out, Posting{Doc: p.Doc, Score: p.Score + b[j].Score})
+			j++
+		}
+	}
+	return out
+}
+
+// UnionAll folds Union over many lists.
+func UnionAll(lists []List) List {
+	var acc List
+	for _, l := range lists {
+		acc = Union(acc, l)
+	}
+	return acc
+}
+
+// TopK returns the k highest-scoring postings (ties broken by lower doc
+// id), re-sorted by doc id so the result is again a valid List. This is
+// the truncation the paper applies to NDK posting lists ("truncated to
+// their top-DFmax best elements").
+func (l List) TopK(k int) List {
+	if k >= len(l) {
+		out := make(List, len(l))
+		copy(out, l)
+		return out
+	}
+	if k <= 0 {
+		return List{}
+	}
+	byScore := make(List, len(l))
+	copy(byScore, l)
+	sort.Slice(byScore, func(i, j int) bool {
+		if byScore[i].Score != byScore[j].Score {
+			return byScore[i].Score > byScore[j].Score
+		}
+		return byScore[i].Doc < byScore[j].Doc
+	})
+	out := byScore[:k:k]
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// wire format: uvarint count, then per posting: uvarint doc-id delta
+// (first doc encoded as delta from 0... actually delta+1 from previous to
+// keep strict monotonicity checkable), float32 score bits as fixed 4 bytes.
+
+// ErrCorrupt is returned by Decode on malformed input.
+var ErrCorrupt = errors.New("postings: corrupt encoding")
+
+// Encode serializes the list. The caller may pass a reusable buffer.
+func Encode(buf []byte, l List) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l)))
+	prev := uint64(0)
+	first := true
+	for _, p := range l {
+		cur := uint64(p.Doc)
+		var delta uint64
+		if first {
+			delta = cur
+			first = false
+		} else {
+			delta = cur - prev - 1
+		}
+		prev = cur
+		buf = binary.AppendUvarint(buf, delta)
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Score))
+	}
+	return buf
+}
+
+// Decode parses an encoded list, returning the list and the number of
+// bytes consumed.
+func Decode(buf []byte) (List, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, ErrCorrupt
+	}
+	off := sz
+	if n > uint64(len(buf)) { // cheap sanity bound: >= 5 bytes per posting
+		return nil, 0, fmt.Errorf("%w: count %d exceeds buffer", ErrCorrupt, n)
+	}
+	out := make(List, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		delta, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 {
+			return nil, 0, ErrCorrupt
+		}
+		off += sz
+		if off+4 > len(buf) {
+			return nil, 0, ErrCorrupt
+		}
+		score := math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		var doc uint64
+		if i == 0 {
+			doc = delta
+		} else {
+			doc = prev + delta + 1
+		}
+		if doc > math.MaxUint32 {
+			return nil, 0, fmt.Errorf("%w: doc id overflow", ErrCorrupt)
+		}
+		prev = doc
+		out = append(out, Posting{Doc: corpus.DocID(doc), Score: score})
+	}
+	return out, off, nil
+}
+
+// EncodedSize returns the exact wire size of the list without allocating.
+func EncodedSize(l List) int {
+	size := uvarintLen(uint64(len(l)))
+	prev := uint64(0)
+	first := true
+	for _, p := range l {
+		cur := uint64(p.Doc)
+		var delta uint64
+		if first {
+			delta = cur
+			first = false
+		} else {
+			delta = cur - prev - 1
+		}
+		prev = cur
+		size += uvarintLen(delta) + 4
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

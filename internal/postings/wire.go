@@ -1,0 +1,80 @@
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Keyed wire format for index RPCs: uvarint key length, key bytes,
+// uvarint flags/df field, encoded posting list. Both the single-term
+// baseline and the HDK engine ship (key, posting-list) pairs, so the
+// codec lives here.
+
+// KeyedMessage is a (key, aux, posting list) triple on the wire. Aux is a
+// small unsigned field whose meaning is protocol-specific (e.g. the global
+// document frequency accompanying a fetched list).
+type KeyedMessage struct {
+	Key  string
+	Aux  uint64
+	List List
+}
+
+// EncodeKeyed appends the message to buf.
+func EncodeKeyed(buf []byte, m KeyedMessage) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(m.Key)))
+	buf = append(buf, m.Key...)
+	buf = binary.AppendUvarint(buf, m.Aux)
+	return Encode(buf, m.List)
+}
+
+// DecodeKeyed parses one keyed message and returns the bytes consumed.
+func DecodeKeyed(buf []byte) (KeyedMessage, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf)-sz) < n {
+		return KeyedMessage{}, 0, fmt.Errorf("%w: bad key length", ErrCorrupt)
+	}
+	off := sz
+	key := string(buf[off : off+int(n)])
+	off += int(n)
+	aux, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 {
+		return KeyedMessage{}, 0, fmt.Errorf("%w: bad aux field", ErrCorrupt)
+	}
+	off += sz
+	list, consumed, err := Decode(buf[off:])
+	if err != nil {
+		return KeyedMessage{}, 0, err
+	}
+	return KeyedMessage{Key: key, Aux: aux, List: list}, off + consumed, nil
+}
+
+// EncodeKeyedBatch encodes a batch of keyed messages prefixed by a count.
+func EncodeKeyedBatch(buf []byte, ms []KeyedMessage) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ms)))
+	for _, m := range ms {
+		buf = EncodeKeyed(buf, m)
+	}
+	return buf
+}
+
+// DecodeKeyedBatch parses a batch.
+func DecodeKeyedBatch(buf []byte) ([]KeyedMessage, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad batch count", ErrCorrupt)
+	}
+	off := sz
+	if n > uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: batch count %d exceeds buffer", ErrCorrupt, n)
+	}
+	out := make([]KeyedMessage, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m, consumed, err := DecodeKeyed(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += consumed
+		out = append(out, m)
+	}
+	return out, nil
+}

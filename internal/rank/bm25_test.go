@@ -1,0 +1,104 @@
+package rank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/postings"
+)
+
+func TestIDFMonotoneDecreasingInDF(t *testing.T) {
+	s := CollectionStats{NumDocs: 10000, AvgDocLen: 225}
+	prev := math.Inf(1)
+	for _, df := range []int{1, 10, 100, 1000, 9999} {
+		idf := s.IDF(df)
+		if idf >= prev {
+			t.Errorf("IDF not decreasing at df=%d", df)
+		}
+		if idf <= 0 {
+			t.Errorf("IDF(%d) = %g, want positive", df, idf)
+		}
+		prev = idf
+	}
+}
+
+func TestBM25ScoreProperties(t *testing.T) {
+	p := DefaultBM25()
+	s := CollectionStats{NumDocs: 100000, AvgDocLen: 225}
+	// Increasing tf increases the score (saturating).
+	if p.Score(s, 2, 10, 225) <= p.Score(s, 1, 10, 225) {
+		t.Error("score not increasing in tf")
+	}
+	// Rare terms beat common terms.
+	if p.Score(s, 1, 5, 225) <= p.Score(s, 1, 5000, 225) {
+		t.Error("rare term does not outscore common term")
+	}
+	// Longer documents are penalized.
+	if p.Score(s, 1, 10, 500) >= p.Score(s, 1, 10, 100) {
+		t.Error("long document not penalized")
+	}
+	// Zero tf or df scores zero.
+	if p.Score(s, 0, 10, 225) != 0 || p.Score(s, 1, 0, 225) != 0 {
+		t.Error("zero tf/df must score 0")
+	}
+}
+
+func TestBM25Saturation(t *testing.T) {
+	// As tf grows the score approaches idf*(k1+1); it must never exceed it.
+	p := DefaultBM25()
+	s := CollectionStats{NumDocs: 1000, AvgDocLen: 100}
+	limit := s.IDF(10) * (p.K1 + 1)
+	prop := func(tf uint8) bool {
+		return p.Score(s, int(tf), 10, 100) <= limit+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBM25NonNegative(t *testing.T) {
+	// Even df close to NumDocs must not go negative (smoothed IDF).
+	p := DefaultBM25()
+	s := CollectionStats{NumDocs: 100, AvgDocLen: 50}
+	if got := p.Score(s, 3, 100, 50); got < 0 {
+		t.Errorf("score %g negative for df=N", got)
+	}
+}
+
+func TestTopKByScore(t *testing.T) {
+	l := postings.List{{Doc: 1, Score: 2}, {Doc: 2, Score: 9}, {Doc: 3, Score: 5}}
+	res := TopKByScore(l, 2)
+	if len(res) != 2 || res[0].Doc != 2 || res[1].Doc != 3 {
+		t.Fatalf("TopKByScore = %v", res)
+	}
+}
+
+func TestSortResultsDeterministicTies(t *testing.T) {
+	res := []Result{{Doc: 9, Score: 1}, {Doc: 3, Score: 1}, {Doc: 7, Score: 2}}
+	SortResults(res)
+	if res[0].Doc != 7 || res[1].Doc != 3 || res[2].Doc != 9 {
+		t.Fatalf("tie order wrong: %v", res)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	ref := []Result{{Doc: 1}, {Doc: 2}, {Doc: 3}, {Doc: 4}}
+	cand := []Result{{Doc: 2}, {Doc: 4}, {Doc: 9}, {Doc: 10}}
+	if got := Overlap(ref, cand, 4); got != 50 {
+		t.Errorf("Overlap = %g, want 50", got)
+	}
+	if got := Overlap(ref, ref, 4); got != 100 {
+		t.Errorf("self overlap = %g, want 100", got)
+	}
+	if got := Overlap(ref, nil, 4); got != 0 {
+		t.Errorf("empty candidate overlap = %g, want 0", got)
+	}
+	if got := Overlap(nil, cand, 4); got != 0 {
+		t.Errorf("empty reference overlap = %g, want 0", got)
+	}
+	// k truncation applies to both sides.
+	if got := Overlap(ref, cand, 1); got != 0 {
+		t.Errorf("Overlap@1 = %g, want 0 (ref top-1 is doc 1)", got)
+	}
+}

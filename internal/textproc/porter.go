@@ -1,0 +1,266 @@
+package textproc
+
+// Stem applies the Porter stemming algorithm (Porter, 1980) to a single
+// lower-case word and returns its stem. Words of length <= 2 are returned
+// unchanged, as in the original algorithm.
+//
+// The implementation follows the canonical description: measure-based
+// conditions (m), *S/*v*/*d/*o predicates, and steps 1a, 1b, 1c, 2, 3, 4,
+// 5a, 5b.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			// Only stem plain ASCII lower-case words; anything else
+			// (digits-only tokens pass through untouched too).
+			return word
+		}
+	}
+	s := &stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct {
+	b []byte
+}
+
+// isConsonant reports whether the letter at index i is a consonant in
+// Porter's sense: not a,e,i,o,u, and 'y' is a consonant only when preceded
+// by a vowel position start or a vowel... precisely: y is a consonant if it
+// is the first letter or the preceding letter is a vowel-position consonant.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in the stem b[0:end].
+func (s *stemmer) measureTo(end int) int {
+	m := 0
+	i := 0
+	// skip initial consonants
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for {
+		// skip vowels
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			return m
+		}
+		// skip consonants
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+		m++
+		if i >= end {
+			return m
+		}
+	}
+}
+
+func (s *stemmer) measure() int { return s.measureTo(len(s.b)) }
+
+// hasVowelTo reports *v* for the stem b[0:end].
+func (s *stemmer) hasVowelTo(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports *d: the word ends with a double consonant.
+func (s *stemmer) endsDoubleConsonant() bool {
+	n := len(s.b)
+	if n < 2 {
+		return false
+	}
+	return s.b[n-1] == s.b[n-2] && s.isConsonant(n-1)
+}
+
+// endsCVC reports *o: the stem ends cvc where the final c is not w, x or y.
+func (s *stemmer) endsCVCTo(end int) bool {
+	if end < 3 {
+		return false
+	}
+	i := end - 1
+	if !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the word ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b)
+	if n < len(suf) {
+		return false
+	}
+	return string(s.b[n-len(suf):]) == suf
+}
+
+// stemLen returns the length of the word minus suffix suf (assumes hasSuffix).
+func (s *stemmer) stemLen(suf string) int { return len(s.b) - len(suf) }
+
+// replace replaces suffix suf with rep if the measure of the remaining stem
+// is > m. Returns true if the suffix matched (regardless of replacement).
+func (s *stemmer) replace(suf, rep string, m int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	stem := s.stemLen(suf)
+	if s.measureTo(stem) > m {
+		s.b = append(s.b[:stem], rep...)
+	}
+	return true
+}
+
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.b = s.b[:len(s.b)-2] // sses -> ss
+	case s.hasSuffix("ies"):
+		s.b = s.b[:len(s.b)-2] // ies -> i
+	case s.hasSuffix("ss"):
+		// ss -> ss, no change
+	case s.hasSuffix("s"):
+		s.b = s.b[:len(s.b)-1] // s ->
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measureTo(s.stemLen("eed")) > 0 {
+			s.b = s.b[:len(s.b)-1] // eed -> ee
+		}
+		return
+	}
+	matched := false
+	if s.hasSuffix("ed") && s.hasVowelTo(s.stemLen("ed")) {
+		s.b = s.b[:s.stemLen("ed")]
+		matched = true
+	} else if s.hasSuffix("ing") && s.hasVowelTo(s.stemLen("ing")) {
+		s.b = s.b[:s.stemLen("ing")]
+		matched = true
+	}
+	if !matched {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"), s.hasSuffix("bl"), s.hasSuffix("iz"):
+		s.b = append(s.b, 'e')
+	case s.endsDoubleConsonant():
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure() == 1 && s.endsCVCTo(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowelTo(len(s.b)-1) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+var step2Rules = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+	{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+	{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+	{"biliti", "ble"},
+}
+
+func (s *stemmer) step2() {
+	for _, r := range step2Rules {
+		if s.replace(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+var step3Rules = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+	{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (s *stemmer) step3() {
+	for _, r := range step3Rules {
+		if s.replace(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (s *stemmer) step4() {
+	for _, suf := range step4Suffixes {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		stem := s.stemLen(suf)
+		if suf == "ion" {
+			// (m>1 and (*S or *T)) ION ->
+			if stem > 0 && (s.b[stem-1] == 's' || s.b[stem-1] == 't') && s.measureTo(stem) > 1 {
+				s.b = s.b[:stem]
+			}
+			return
+		}
+		if s.measureTo(stem) > 1 {
+			s.b = s.b[:stem]
+		}
+		return
+	}
+}
+
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	stem := len(s.b) - 1
+	m := s.measureTo(stem)
+	if m > 1 || (m == 1 && !s.endsCVCTo(stem)) {
+		s.b = s.b[:stem]
+	}
+}
+
+func (s *stemmer) step5b() {
+	if s.measure() > 1 && s.endsDoubleConsonant() && s.b[len(s.b)-1] == 'l' {
+		s.b = s.b[:len(s.b)-1]
+	}
+}

@@ -1,0 +1,143 @@
+package textproc
+
+import "testing"
+
+// Canonical Porter test vectors drawn from the algorithm's published
+// description and the reference voc/output pairs.
+var porterVectors = []struct{ in, want string }{
+	// Step 1a
+	{"caresses", "caress"},
+	{"ponies", "poni"},
+	{"ties", "ti"},
+	{"caress", "caress"},
+	{"cats", "cat"},
+	// Step 1b
+	{"feed", "feed"},
+	{"agreed", "agre"},
+	{"plastered", "plaster"},
+	{"bled", "bled"},
+	{"motoring", "motor"},
+	{"sing", "sing"},
+	{"conflated", "conflat"},
+	{"troubled", "troubl"},
+	{"sized", "size"},
+	{"hopping", "hop"},
+	{"tanned", "tan"},
+	{"falling", "fall"},
+	{"hissing", "hiss"},
+	{"fizzed", "fizz"},
+	{"failing", "fail"},
+	{"filing", "file"},
+	// Step 1c
+	{"happy", "happi"},
+	{"sky", "sky"},
+	// Step 2
+	{"relational", "relat"},
+	{"conditional", "condit"},
+	{"rational", "ration"},
+	{"valenci", "valenc"},
+	{"hesitanci", "hesit"},
+	{"digitizer", "digit"},
+	{"conformabli", "conform"},
+	{"radicalli", "radic"},
+	{"differentli", "differ"},
+	{"vileli", "vile"},
+	{"analogousli", "analog"},
+	{"vietnamization", "vietnam"},
+	{"predication", "predic"},
+	{"operator", "oper"},
+	{"feudalism", "feudal"},
+	{"decisiveness", "decis"},
+	{"hopefulness", "hope"},
+	{"callousness", "callous"},
+	{"formaliti", "formal"},
+	{"sensitiviti", "sensit"},
+	{"sensibiliti", "sensibl"},
+	// Step 3
+	{"triplicate", "triplic"},
+	{"formative", "form"},
+	{"formalize", "formal"},
+	{"electriciti", "electr"},
+	{"electrical", "electr"},
+	{"hopeful", "hope"},
+	{"goodness", "good"},
+	// Step 4
+	{"revival", "reviv"},
+	{"allowance", "allow"},
+	{"inference", "infer"},
+	{"airliner", "airlin"},
+	{"gyroscopic", "gyroscop"},
+	{"adjustable", "adjust"},
+	{"defensible", "defens"},
+	{"irritant", "irrit"},
+	{"replacement", "replac"},
+	{"adjustment", "adjust"},
+	{"dependent", "depend"},
+	{"adoption", "adopt"},
+	{"homologou", "homolog"},
+	{"communism", "commun"},
+	{"activate", "activ"},
+	{"angulariti", "angular"},
+	{"homologous", "homolog"},
+	{"effective", "effect"},
+	{"bowdlerize", "bowdler"},
+	// Step 5
+	{"probate", "probat"},
+	{"rate", "rate"},
+	{"cease", "ceas"},
+	{"controll", "control"},
+	{"roll", "roll"},
+	// General / whole-pipeline words
+	{"retrieval", "retriev"},
+	{"indexing", "index"},
+	{"discriminative", "discrimin"},
+	{"scalability", "scalabl"},
+	{"networks", "network"},
+	{"peers", "peer"},
+	{"documents", "document"},
+	{"generalization", "gener"},
+	{"oscillators", "oscil"},
+}
+
+func TestStemVectors(t *testing.T) {
+	for _, v := range porterVectors {
+		if got := Stem(v.in); got != v.want {
+			t.Errorf("Stem(%q) = %q, want %q", v.in, got, v.want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "be"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemNonASCIIPassThrough(t *testing.T) {
+	for _, w := range []string{"café", "naïve", "hello-world"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnStems(t *testing.T) {
+	// Stemming is not idempotent in general for Porter, but for the vector
+	// outputs above that are fixed points of the algorithm it must be.
+	fixed := []string{"cat", "tan", "fall", "peer", "network"}
+	for _, w := range fixed {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want fixed point", w, got)
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"generalization", "discriminative", "retrieval", "cats", "oscillators"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

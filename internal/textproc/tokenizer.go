@@ -1,0 +1,121 @@
+// Package textproc implements the text-processing pipeline used by the HDK
+// retrieval engine: tokenization, stop-word removal, Porter stemming and
+// sliding-window extraction.
+//
+// The pipeline mirrors the pre-processing described in Section 5 of the
+// paper: "First we remove 250 common English stop words and apply the Porter
+// stemmer, and then we removed additional very frequent terms." The
+// very-frequent-term removal is collection-dependent and therefore lives in
+// the indexing layer; this package provides the collection-independent
+// stages.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lower-cased alphanumeric tokens. Tokens shorter
+// than MinTokenLen or longer than MaxTokenLen runes are dropped: one-letter
+// tokens carry no retrieval signal and pathologically long tokens are almost
+// always markup noise.
+func Tokenize(text string) []string {
+	const avgTokenLen = 6
+	out := make([]string, 0, len(text)/avgTokenLen)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() >= MinTokenLen && b.Len() <= MaxTokenLen {
+			out = append(out, b.String())
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Token length bounds enforced by Tokenize (in bytes of the lower-cased
+// form, which equals runes for ASCII input).
+const (
+	MinTokenLen = 2
+	MaxTokenLen = 40
+)
+
+// Pipeline bundles the full collection-independent pre-processing chain.
+// The zero value is not usable; construct with NewPipeline.
+type Pipeline struct {
+	stop     map[string]struct{}
+	stem     bool
+	extraVF  map[string]struct{} // additional very frequent terms, optional
+	minToken int
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithoutStemming disables the Porter stemmer stage.
+func WithoutStemming() Option { return func(p *Pipeline) { p.stem = false } }
+
+// WithExtraStopTerms adds collection-specific very frequent terms to the
+// removal set (the "additional very frequent terms" of Section 5).
+func WithExtraStopTerms(terms []string) Option {
+	return func(p *Pipeline) {
+		for _, t := range terms {
+			p.extraVF[t] = struct{}{}
+		}
+	}
+}
+
+// NewPipeline returns a pipeline with the standard 250-word English stop
+// list and Porter stemming enabled.
+func NewPipeline(opts ...Option) *Pipeline {
+	p := &Pipeline{
+		stop:    stopSet(),
+		stem:    true,
+		extraVF: make(map[string]struct{}),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Process runs the full chain on raw text and returns the sequence of index
+// terms in document order (order matters for proximity filtering).
+func (p *Pipeline) Process(text string) []string {
+	return p.ProcessTokens(Tokenize(text))
+}
+
+// ProcessTokens runs stop-word removal and stemming on pre-split tokens.
+func (p *Pipeline) ProcessTokens(tokens []string) []string {
+	out := tokens[:0:0]
+	for _, t := range tokens {
+		if _, ok := p.stop[t]; ok {
+			continue
+		}
+		if _, ok := p.extraVF[t]; ok {
+			continue
+		}
+		if p.stem {
+			t = Stem(t)
+		}
+		if len(t) < MinTokenLen {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// IsStopWord reports whether t is in the pipeline's static stop list.
+func (p *Pipeline) IsStopWord(t string) bool {
+	_, ok := p.stop[t]
+	return ok
+}

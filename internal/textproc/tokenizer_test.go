@@ -1,0 +1,202 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"peer-to-peer", []string{"peer", "to", "peer"}},
+		{"", nil},
+		{"   ", nil},
+		{"P2P networks scale to 1,000,000 peers.",
+			[]string{"p2p", "networks", "scale", "to", "000", "000", "peers"}},
+		{"a I x", nil}, // single-char tokens dropped
+		{"BM25", []string{"bm25"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeDropsOverlongTokens(t *testing.T) {
+	long := strings.Repeat("x", MaxTokenLen+1)
+	if got := Tokenize("ok " + long + " fine"); !reflect.DeepEqual(got, []string{"ok", "fine"}) {
+		t.Errorf("overlong token not dropped: %v", got)
+	}
+	exact := strings.Repeat("x", MaxTokenLen)
+	if got := Tokenize(exact); !reflect.DeepEqual(got, []string{exact}) {
+		t.Errorf("max-length token wrongly dropped: %v", got)
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	prop := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeTokensAreAlphanumeric(t *testing.T) {
+	prop := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if len(tok) < MinTokenLen {
+				return false
+			}
+			for _, r := range tok {
+				if !((r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') ||
+					r > 127) { // non-ASCII letters/digits are kept lowercased
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopWordCountIs250(t *testing.T) {
+	if StopWordCount != 250 {
+		t.Fatalf("stop list has %d entries, want 250 (paper Section 5)", StopWordCount)
+	}
+	seen := map[string]bool{}
+	for _, w := range StopWords() {
+		if seen[w] {
+			t.Errorf("duplicate stop word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestPipelineProcess(t *testing.T) {
+	p := NewPipeline()
+	got := p.Process("The quick brown foxes are jumping over the lazy dogs")
+	want := []string{"quick", "brown", "fox", "jump", "lazi", "dog"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Process = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineWithoutStemming(t *testing.T) {
+	p := NewPipeline(WithoutStemming())
+	got := p.Process("running dogs")
+	want := []string{"running", "dogs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Process = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineExtraStopTerms(t *testing.T) {
+	p := NewPipeline(WithExtraStopTerms([]string{"wiki"}), WithoutStemming())
+	got := p.Process("wiki article content")
+	want := []string{"article", "content"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Process = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineRemovesStopWords(t *testing.T) {
+	p := NewPipeline()
+	for _, tok := range p.Process("the and of to in is was") {
+		t.Errorf("stop word survived pipeline: %q", tok)
+	}
+}
+
+func TestWindowsFullCoverage(t *testing.T) {
+	terms := []string{"a1", "b2", "c3", "d4", "e5"}
+	var got [][]string
+	Windows(terms, 3, func(w []string) {
+		cp := make([]string, len(w))
+		copy(cp, w)
+		got = append(got, cp)
+	})
+	want := [][]string{{"a1", "b2", "c3"}, {"b2", "c3", "d4"}, {"c3", "d4", "e5"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Windows = %v, want %v", got, want)
+	}
+}
+
+func TestWindowsShortDocument(t *testing.T) {
+	terms := []string{"x1", "y2"}
+	count := 0
+	Windows(terms, 20, func(w []string) {
+		count++
+		if len(w) != 2 {
+			t.Errorf("short-doc window len = %d, want 2", len(w))
+		}
+	})
+	if count != 1 {
+		t.Errorf("short doc produced %d windows, want 1", count)
+	}
+}
+
+func TestWindowsDegenerate(t *testing.T) {
+	called := false
+	Windows(nil, 5, func([]string) { called = true })
+	Windows([]string{"x1"}, 0, func([]string) { called = true })
+	if called {
+		t.Error("degenerate inputs must produce no windows")
+	}
+}
+
+func TestCoOccursInWindow(t *testing.T) {
+	terms := []string{"t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"}
+	cases := []struct {
+		w       int
+		needles []string
+		want    bool
+	}{
+		{3, []string{"t1", "t3"}, true},
+		{2, []string{"t1", "t3"}, false},
+		{8, []string{"t1", "t8"}, true},
+		{7, []string{"t1", "t8"}, false},
+		{3, []string{"t9"}, false},
+		{3, nil, true},
+		{1, []string{"t4"}, true},
+	}
+	for _, c := range cases {
+		if got := CoOccursInWindow(terms, c.w, c.needles); got != c.want {
+			t.Errorf("CoOccursInWindow(w=%d, %v) = %v, want %v", c.w, c.needles, got, c.want)
+		}
+	}
+}
+
+func TestCoOccursWindowCountsDistinctTerms(t *testing.T) {
+	// A repeated needle in the window must not satisfy a two-term need.
+	terms := []string{"t1", "t1", "t1"}
+	if CoOccursInWindow(terms, 3, []string{"t1", "t2"}) {
+		t.Error("repeated term wrongly satisfied a 2-term co-occurrence")
+	}
+}
+
+func BenchmarkPipelineProcess(b *testing.B) {
+	p := NewPipeline()
+	text := strings.Repeat("the scalable peer to peer retrieval of documents with highly discriminative keys ", 30)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		p.Process(text)
+	}
+}

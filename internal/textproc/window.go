@@ -1,0 +1,56 @@
+package textproc
+
+// Windows iterates over all sliding windows of size w over the term
+// sequence terms, invoking fn with each window slice. The final windows
+// shorter than w (when the document itself is shorter) collapse to a single
+// call with the whole document, matching the paper's fixed-size-window
+// textual context: term sets are keys only if all their terms co-occur
+// within at least one window of size w.
+//
+// The slice passed to fn aliases terms and must not be retained.
+func Windows(terms []string, w int, fn func(window []string)) {
+	if w <= 0 || len(terms) == 0 {
+		return
+	}
+	if len(terms) <= w {
+		fn(terms)
+		return
+	}
+	for i := 0; i+w <= len(terms); i++ {
+		fn(terms[i : i+w])
+	}
+}
+
+// CoOccursInWindow reports whether all needles occur together inside at
+// least one window of size w of the term sequence. It is the reference
+// (brute-force) implementation of proximity filtering, used by tests and by
+// the retrieval-side post-processing of HDK answer sets.
+func CoOccursInWindow(terms []string, w int, needles []string) bool {
+	if len(needles) == 0 {
+		return true
+	}
+	found := false
+	need := make(map[string]struct{}, len(needles))
+	for _, n := range needles {
+		need[n] = struct{}{}
+	}
+	Windows(terms, w, func(window []string) {
+		if found {
+			return
+		}
+		seen := 0
+		marked := make(map[string]struct{}, len(need))
+		for _, t := range window {
+			if _, ok := need[t]; ok {
+				if _, dup := marked[t]; !dup {
+					marked[t] = struct{}{}
+					seen++
+				}
+			}
+		}
+		if seen == len(need) {
+			found = true
+		}
+	})
+	return found
+}

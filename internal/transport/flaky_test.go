@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFlakyDropsApproximatelyRate(t *testing.T) {
+	inner := NewInProc()
+	defer inner.Close()
+	inner.Listen("svc", func(b []byte) ([]byte, error) { return b, nil })
+	f, err := NewFlaky(inner, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const calls = 5000
+	failed := 0
+	for i := 0; i < calls; i++ {
+		if _, err := f.Call("svc", []byte{1}); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("drop returned non-transient error: %v", err)
+			}
+			failed++
+		}
+	}
+	rate := float64(failed) / calls
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("observed drop rate %.3f, want ~0.30", rate)
+	}
+	if f.Dropped() != uint64(failed) {
+		t.Fatalf("Dropped() = %d, want %d", f.Dropped(), failed)
+	}
+}
+
+func TestFlakyZeroRatePassesThrough(t *testing.T) {
+	inner := NewInProc()
+	defer inner.Close()
+	inner.Listen("svc", func(b []byte) ([]byte, error) { return append(b, '!'), nil })
+	f, _ := NewFlaky(inner, 0, 1)
+	for i := 0; i < 100; i++ {
+		resp, err := f.Call("svc", []byte("x"))
+		if err != nil || string(resp) != "x!" {
+			t.Fatalf("call %d failed: %q %v", i, resp, err)
+		}
+	}
+}
+
+func TestFlakyValidation(t *testing.T) {
+	inner := NewInProc()
+	defer inner.Close()
+	if _, err := NewFlaky(inner, -0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewFlaky(inner, 1.0, 1); err == nil {
+		t.Error("rate 1.0 accepted (would loop forever under retries)")
+	}
+}
+
+func TestFlakyHandlerErrorsNotTransient(t *testing.T) {
+	inner := NewInProc()
+	defer inner.Close()
+	inner.Listen("bad", func([]byte) ([]byte, error) { return nil, errors.New("semantic") })
+	f, _ := NewFlaky(inner, 0, 1)
+	_, err := f.Call("bad", nil)
+	if err == nil || errors.Is(err, ErrTransient) {
+		t.Fatalf("handler error misclassified: %v", err)
+	}
+}
+
+func TestFlakyDeterministic(t *testing.T) {
+	run := func() []bool {
+		inner := NewInProc()
+		defer inner.Close()
+		inner.Listen("svc", func(b []byte) ([]byte, error) { return b, nil })
+		f, _ := NewFlaky(inner, 0.5, 7)
+		out := make([]bool, 50)
+		for i := range out {
+			_, err := f.Call("svc", nil)
+			out[i] = err == nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("drop pattern not deterministic under fixed seed")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is a Transport over real TCP sockets using length-prefixed frames:
+// a 1-byte status (responses only) and a 4-byte big-endian payload length
+// followed by the payload. One connection per Call keeps the
+// implementation simple and is adequate for the example workloads; the
+// experiments use InProc.
+type TCP struct {
+	counters
+	mu        sync.Mutex
+	listeners []net.Listener
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewTCP returns a TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// MaxFrameSize bounds a single request or response payload (64 MiB), a
+// guard against malformed length prefixes.
+const MaxFrameSize = 64 << 20
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Listen implements Transport. Pass "127.0.0.1:0" to bind an ephemeral
+// port; the resolved address is returned.
+func (t *TCP) Listen(addr string, h Handler) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return "", ErrClosed
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.listeners = append(t.listeners, ln)
+	t.wg.Add(1)
+	go t.serve(ln, h)
+	return ln.Addr().String(), nil
+}
+
+func (t *TCP) serve(ln net.Listener, h Handler) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			t.handleConn(conn, h)
+		}()
+	}
+}
+
+func (t *TCP) handleConn(conn net.Conn, h Handler) {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return // io.EOF on clean close
+		}
+		resp, herr := h(req)
+		status := byte(statusOK)
+		if herr != nil {
+			status = statusErr
+			resp = []byte(herr.Error())
+		}
+		if err := writeFrame(conn, status, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Call implements Transport.
+func (t *TCP) Call(addr string, req []byte) ([]byte, error) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, statusOK, req); err != nil {
+		return nil, err
+	}
+	status, resp, err := readResponse(conn)
+	if err != nil {
+		return nil, err
+	}
+	if status == statusErr {
+		return nil, fmt.Errorf("transport: remote error: %s", resp)
+	}
+	t.account(len(req), len(resp))
+	return resp, nil
+}
+
+// Close implements Transport. It stops all listeners and waits for in-
+// flight connection goroutines to drain.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	t.listeners = nil
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// FrameOverhead is the per-message framing cost in bytes (status byte on
+// the response + two 4-byte length prefixes), reported so byte accounting
+// can separate protocol payload from wire overhead.
+const FrameOverhead = 1 + 4 + 4
+
+func writeFrame(w io.Writer, status byte, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	hdr := make([]byte, 5)
+	hdr[0] = status
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads a request frame (status byte ignored on requests).
+func readFrame(r io.Reader) ([]byte, error) {
+	_, payload, err := readRaw(r)
+	return payload, err
+}
+
+func readResponse(r io.Reader) (byte, []byte, error) {
+	return readRaw(r)
+}
+
+func readRaw(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameSize {
+		return 0, nil, errors.New("transport: oversized frame")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}

@@ -1,0 +1,117 @@
+package zipfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the closed forms of the paper's Section 4 analysis:
+//
+//   Theorem 1:  P_vf(l)  = (1 - (Ff/C(l))^((a-1)/a)) / (1 - (1/C(l))^((a-1)/a))
+//   Theorem 2:  P_f      = (1 - (Fr/Ff)^((a-1)/a))   / (1 - (1/Ff)^((a-1)/a))
+//   Theorem 3:  IS_s(D)  = D · P_f,(s-1)^2 · binom(w-1, s-1)
+//
+// together with the derived quantities used in Figures 5 and 8.
+
+// AnalysisParams carries the model constants of Section 4.
+type AnalysisParams struct {
+	Skew float64 // a, skew of the size-1 term distribution
+	Ff   float64 // very-frequent threshold (paper: 100,000)
+	Fr   float64 // rare threshold, Fr <= Ff
+}
+
+// Validate reports whether the parameters are admissible.
+func (p AnalysisParams) Validate() error {
+	if p.Skew <= 1 {
+		return fmt.Errorf("zipfmodel: Theorems 1-2 require skew > 1, got %g", p.Skew)
+	}
+	if p.Fr < 1 || p.Ff < p.Fr {
+		return fmt.Errorf("zipfmodel: need 1 <= Fr <= Ff, got Fr=%g Ff=%g", p.Fr, p.Ff)
+	}
+	return nil
+}
+
+// exponent returns (a-1)/a, shared by both theorems.
+func (p AnalysisParams) exponent() float64 { return (p.Skew - 1) / p.Skew }
+
+// PVeryFrequent computes Theorem 1: the probability that a term occurrence
+// in a collection sample with Zipf scale C(l) belongs to a very frequent
+// term (collection frequency > Ff). The probability grows with the sample
+// (through the scale) and approaches 1 for huge collections, which is why
+// very frequent terms are excluded from the key vocabulary.
+func (p AnalysisParams) PVeryFrequent(scale float64) float64 {
+	e := p.exponent()
+	num := 1 - math.Pow(p.Ff/scale, e)
+	den := 1 - math.Pow(1/scale, e)
+	if den == 0 {
+		return 0
+	}
+	return clamp01(num / den)
+}
+
+// PFrequent computes Theorem 2: the probability that a term occurrence
+// belongs to a frequent term (Fr < f <= Ff). The value is independent of
+// the sample size — the central scalability property of the model.
+func (p AnalysisParams) PFrequent() float64 {
+	e := p.exponent()
+	num := 1 - math.Pow(p.Fr/p.Ff, e)
+	den := 1 - math.Pow(1/p.Ff, e)
+	if den == 0 {
+		return 0
+	}
+	return clamp01(num / den)
+}
+
+// PRare is 1 - PFrequent: the probability of a rare-term occurrence among
+// non-very-frequent occurrences.
+func (p AnalysisParams) PRare() float64 { return 1 - p.PFrequent() }
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+// Binomial returns C(n, k) as a float64 (exact for the small n used here).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1.0
+	for i := 1; i <= k; i++ {
+		res = res * float64(n-k+i) / float64(i)
+	}
+	return res
+}
+
+// IndexSizeRatio computes Theorem 3's bound IS_s(D)/D = P_f,(s-1)^2 ·
+// binom(w-1, s-1): the expected number of size-s key postings generated per
+// term occurrence, where pfPrev is the frequent-key occurrence probability
+// for keys of size s-1 and w is the proximity window.
+func IndexSizeRatio(pfPrev float64, w, s int) float64 {
+	if s < 2 {
+		return 1 // IS1/D <= 1 by construction (at most one posting per occurrence)
+	}
+	return pfPrev * pfPrev * Binomial(w-1, s-1)
+}
+
+// IndexSize computes Theorem 3's absolute bound IS_s(D) for a collection of
+// sample size d (total term occurrences).
+func IndexSize(d float64, pfPrev float64, w, s int) float64 {
+	return d * IndexSizeRatio(pfPrev, w, s)
+}
+
+// PaperEstimates reproduces the two worked numbers quoted in Section 5:
+// with a1 = 1.5, Pf,1 = 0.8 the bound IS2/D = 12.16, and with a2 = 0.9,
+// Pf,2 = 0.257 the bound IS3/D = 11.35 (both for w = 20).
+func PaperEstimates() (is2OverD, is3OverD float64) {
+	return IndexSizeRatio(0.8, 20, 2), IndexSizeRatio(0.257, 20, 3)
+}

@@ -1,0 +1,114 @@
+package zipfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperEstimates(t *testing.T) {
+	// Section 5: "the maximal estimated value for IS2/D is 12.16 (a1 = 1.5
+	// ... and Pf,1 = 0.8) and the estimated value for IS3/D is 11.35
+	// (a2 = 0.9 and Pf,2 = 0.257)".
+	is2, is3 := PaperEstimates()
+	if math.Abs(is2-12.16) > 0.01 {
+		t.Errorf("IS2/D = %.4f, paper reports 12.16", is2)
+	}
+	// 0.257^2 * C(19,2) = 11.29; the paper's 11.35 reflects rounding of
+	// Pf,2. Accept within 1%.
+	if math.Abs(is3-11.35) > 0.115 {
+		t.Errorf("IS3/D = %.4f, paper reports 11.35", is3)
+	}
+}
+
+func TestPFrequentIndependentOfScale(t *testing.T) {
+	// Theorem 2's whole point: P_f does not depend on the sample size (the
+	// scale C(l) does not appear in the formula).
+	p := AnalysisParams{Skew: 1.5, Ff: 100000, Fr: 10}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pf := p.PFrequent()
+	if pf <= 0 || pf >= 1 {
+		t.Fatalf("PFrequent = %g, want in (0,1)", pf)
+	}
+	if pr := p.PRare(); math.Abs(pf+pr-1) > 1e-12 {
+		t.Errorf("PFrequent + PRare = %g, want 1", pf+pr)
+	}
+}
+
+func TestPVeryFrequentGrowsWithSample(t *testing.T) {
+	// Theorem 1: P_vf grows with the collection (through the scale C(l)).
+	p := AnalysisParams{Skew: 1.5, Ff: 100000, Fr: 10}
+	prev := -1.0
+	for _, scale := range []float64{1e6, 1e7, 1e8, 1e9, 1e10} {
+		pvf := p.PVeryFrequent(scale)
+		if pvf < prev {
+			t.Errorf("PVeryFrequent decreased at scale %g: %g < %g", scale, pvf, prev)
+		}
+		if pvf < 0 || pvf > 1 {
+			t.Errorf("PVeryFrequent(%g) = %g out of [0,1]", scale, pvf)
+		}
+		prev = pvf
+	}
+	// And it tends to 1 for an enormous collection.
+	if pvf := p.PVeryFrequent(1e18); pvf < 0.9 {
+		t.Errorf("PVeryFrequent(1e18) = %g, want near 1", pvf)
+	}
+}
+
+func TestPFrequentMonotoneInFr(t *testing.T) {
+	// Raising the rare threshold Fr shrinks the frequent band.
+	prop := func(frRaw, ffRaw uint16) bool {
+		fr := float64(frRaw%1000) + 1
+		ff := fr + float64(ffRaw%50000) + 1
+		p1 := AnalysisParams{Skew: 1.5, Ff: ff, Fr: fr}
+		p2 := AnalysisParams{Skew: 1.5, Ff: ff, Fr: fr + 1}
+		return p1.PFrequent() >= p2.PFrequent()-1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []AnalysisParams{
+		{Skew: 1.0, Ff: 100, Fr: 10},  // skew must be > 1
+		{Skew: 1.5, Ff: 5, Fr: 10},    // Ff < Fr
+		{Skew: 1.5, Ff: 100, Fr: 0.5}, // Fr < 1
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid params", p)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{19, 1, 19}, {19, 2, 171}, {19, 0, 1}, {19, 19, 1},
+		{5, 2, 10}, {0, 0, 1}, {4, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestIndexSizeRatioSizeOne(t *testing.T) {
+	if got := IndexSizeRatio(0.8, 20, 1); got != 1 {
+		t.Errorf("IS1/D bound = %g, want 1 (paper: IS1/D <= 1)", got)
+	}
+}
+
+func TestIndexSizeLinearInD(t *testing.T) {
+	// Theorem 3: the index size grows linearly with the collection size.
+	r := IndexSize(2e6, 0.8, 20, 2) / IndexSize(1e6, 0.8, 20, 2)
+	if math.Abs(r-2) > 1e-9 {
+		t.Errorf("doubling D scaled IS by %g, want exactly 2", r)
+	}
+}
