@@ -1,5 +1,6 @@
 // Repository-level benchmarks: one per table and figure of the paper's
-// evaluation, plus ablations for the design choices DESIGN.md calls out.
+// evaluation, plus ablations for the engine's main design choices
+// (redundancy filtering, NDK storage, window size, maximal key size).
 // Each figure bench regenerates its artifact from a shared, memoized
 // experiment sweep and reports the headline quantities as custom metrics,
 // so `go test -bench=.` doubles as the reproduction harness at bench
@@ -129,6 +130,10 @@ func BenchmarkFig6RetrievalTraffic(b *testing.B) {
 	b.ReportMetric(last.STQueryPostings, "st-postings/query")
 	b.ReportMetric(last.HDK[0].QueryPostingsAvg, "hdk-postings/query")
 	b.ReportMetric(last.STQueryPostings/first.STQueryPostings, "st-growth")
+	// Batched fan-out: lattice probes collapse into per-owner RPCs.
+	b.ReportMetric(last.HDK[0].QueryProbesAvg, "hdk-probes/query")
+	b.ReportMetric(last.HDK[0].QueryRPCsAvg, "hdk-rpcs/query")
+	b.ReportMetric(last.HDK[0].QueryProbesAvg/last.HDK[0].QueryRPCsAvg, "probe/rpc-ratio")
 }
 
 func BenchmarkFig7Top20Overlap(b *testing.B) {
@@ -295,7 +300,13 @@ func BenchmarkAblationSMax(b *testing.B) {
 
 // BenchmarkSearch measures end-to-end query latency against a built
 // index (the response-time property Section 2 claims for structured
-// overlays).
+// overlays), sweeping the per-level fetch fan-out: fanout=1 probes
+// owners serially, larger fan-outs issue the per-owner batch RPCs
+// concurrently. The rpcs/query vs probes/query metrics expose the
+// message-count reduction of batching. Note the in-process transport has
+// zero call latency, so goroutine overhead makes fanout=1 the fastest
+// setting HERE; on a real network (internal/transport TCP) each RPC
+// costs a round-trip and the fan-out hides that latency.
 func BenchmarkSearch(b *testing.B) {
 	eng := buildAblation(b, nil)
 	if err := eng.BuildIndex(); err != nil {
@@ -309,15 +320,29 @@ func BenchmarkSearch(b *testing.B) {
 		b.Fatal(err)
 	}
 	start := eng.Network().Members()[0]
-	b.ReportAllocs()
-	b.ResetTimer()
-	var fetched uint64
-	for i := 0; i < b.N; i++ {
-		res, err := eng.Search(queries[i%len(queries)], start, 20)
-		if err != nil {
-			b.Fatal(err)
-		}
-		fetched += res.FetchedPosts
+	for _, fanout := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			eng.SetSearchFanout(fanout)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var fetched uint64
+			var probes, rpcs int
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Search(queries[i%len(queries)], start, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fetched += res.FetchedPosts
+				probes += res.ProbedKeys
+				rpcs += res.RPCs
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(fetched)/n, "postings/query")
+			b.ReportMetric(float64(probes)/n, "probes/query")
+			b.ReportMetric(float64(rpcs)/n, "rpcs/query")
+			if rpcs > 0 {
+				b.ReportMetric(float64(probes)/float64(rpcs), "probe/rpc-ratio")
+			}
+		})
 	}
-	b.ReportMetric(float64(fetched)/float64(b.N), "postings/query")
 }

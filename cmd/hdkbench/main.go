@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hdkbench [-scale small|medium|paper] [-experiment all|table1|table2|fig2|...|fig8] [-quiet]
+//	hdkbench [-scale small|medium|paper] [-experiment all|table1|table2|fig2|...|fig8] [-fanout N] [-quiet]
 //
 // The small scale finishes in seconds, medium in minutes; paper runs the
 // verbatim Table 2 parameters (hours in one process).
@@ -23,16 +23,17 @@ func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small, medium or paper")
 	experiment := flag.String("experiment", "all", "artifact to print: all, table1, table2, fig2..fig8")
 	fabric := flag.String("fabric", "chord", "overlay substrate: chord or pgrid (the paper's P-Grid)")
+	fanout := flag.Int("fanout", 0, "concurrent per-owner fetch RPCs per query lattice level (0 = engine default)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
-	if err := run(*scaleName, *experiment, *fabric, *quiet); err != nil {
+	if err := run(*scaleName, *experiment, *fabric, *fanout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "hdkbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, experiment, fabric string, quiet bool) error {
+func run(scaleName, experiment, fabric string, fanout int, quiet bool) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -45,6 +46,7 @@ func run(scaleName, experiment, fabric string, quiet bool) error {
 		return fmt.Errorf("unknown scale %q", scaleName)
 	}
 	scale.Fabric = fabric
+	scale.SearchFanout = fanout
 
 	// The purely analytic artifacts need no sweep.
 	switch experiment {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hdksearch [-docs N] [-peers N] [-dfmax N] [-topk N]
+//	hdksearch [-docs N] [-peers N] [-dfmax N] [-topk N] [-fanout N]
 //
 // Type a query (space-separated terms from the printed sample
 // vocabulary), or one of the commands:
@@ -35,15 +35,16 @@ func main() {
 	peers := flag.Int("peers", 8, "number of peers")
 	dfmax := flag.Int("dfmax", 12, "DFmax discriminative threshold")
 	topk := flag.Int("topk", 10, "results per query")
+	fanout := flag.Int("fanout", 4, "concurrent per-owner fetch RPCs per lattice level")
 	flag.Parse()
 
-	if err := run(*docs, *peers, *dfmax, *topk); err != nil {
+	if err := run(*docs, *peers, *dfmax, *topk, *fanout); err != nil {
 		fmt.Fprintln(os.Stderr, "hdksearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, peers, dfmax, topk int) error {
+func run(docs, peers, dfmax, topk, fanout int) error {
 	p := corpus.DefaultGenParams(docs)
 	p.AvgDocLen = 80
 	col, err := corpus.Generate(p)
@@ -61,6 +62,7 @@ func run(docs, peers, dfmax, topk int) error {
 	cfg := core.DefaultConfig(rank.CollectionStats{NumDocs: col.M(), AvgDocLen: col.AvgDocLen()})
 	cfg.DFMax = dfmax
 	cfg.Window = 10
+	cfg.SearchFanout = fanout
 	eng, err := core.NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
 	if err != nil {
 		return err
@@ -116,8 +118,8 @@ func run(docs, peers, dfmax, topk int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%d results | probed %d keys, found %d, fetched %d postings\n",
-			len(res.Results), res.ProbedKeys, res.FoundKeys, res.FetchedPosts)
+		fmt.Printf("%d results | probed %d keys, found %d, fetched %d postings | %d batched RPCs over %d levels\n",
+			len(res.Results), res.ProbedKeys, res.FoundKeys, res.FetchedPosts, res.RPCs, res.Rounds)
 		for i, r := range res.Results {
 			fmt.Printf("%2d. doc %-6d score %.3f\n", i+1, r.Doc, r.Score)
 		}
@@ -147,6 +149,8 @@ func printStats(eng *core.Engine, net *overlay.Network) {
 	count, hops := net.LookupStats()
 	fmt.Printf("dht lookups %d, mean hops %.2f | transport: %d msgs, %d bytes\n",
 		count, hops, net.TransportStats().Messages, net.TransportStats().Bytes)
+	fmt.Printf("queries: %d lattice probes answered by %d batched fetch RPCs over %d levels\n",
+		traffic.ProbeMessages, traffic.FetchRPCs, traffic.QueryRounds)
 }
 
 func printDoc(col *corpus.Collection, arg string) {

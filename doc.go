@@ -8,8 +8,8 @@
 // lists, BM25 ranking, a Chord-style DHT over in-process and TCP
 // transports, the single-term baselines, the Section 4 scalability
 // analysis, and an experiment harness regenerating every table and figure
-// of the evaluation. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// of the evaluation. See README.md for build, test and benchmark
+// instructions and an overview of the batched query path.
 //
 // The root package only anchors the repository-level benchmarks in
 // bench_test.go; the implementation lives under internal/.

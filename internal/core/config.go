@@ -21,6 +21,11 @@ type Config struct {
 	// f_D(t) > Ff are excluded from the key vocabulary, the paper's
 	// collection-adaptive stop list (paper: 100,000).
 	Ff int
+	// SearchFanout bounds how many index nodes Search contacts
+	// concurrently within one lattice level (the α-style parallelism of
+	// Kademlia-family lookups). Values <= 1 probe owners serially; the
+	// ranked answer is identical at any setting.
+	SearchFanout int
 	// BM25 parameterizes the partial scores postings carry.
 	BM25 rank.BM25Params
 	// Stats are the collection-wide statistics used for scoring
@@ -40,12 +45,13 @@ type Config struct {
 // collection with the given global stats.
 func DefaultConfig(stats rank.CollectionStats) Config {
 	return Config{
-		DFMax:  400,
-		SMax:   3,
-		Window: 20,
-		Ff:     100000,
-		BM25:   rank.DefaultBM25(),
-		Stats:  stats,
+		DFMax:        400,
+		SMax:         3,
+		Window:       20,
+		Ff:           100000,
+		SearchFanout: 4,
+		BM25:         rank.DefaultBM25(),
+		Stats:        stats,
 	}
 }
 
@@ -62,6 +68,9 @@ func (c Config) Validate() error {
 	}
 	if c.Ff < 1 {
 		return fmt.Errorf("core: Ff must be >= 1, got %d", c.Ff)
+	}
+	if c.SearchFanout < 0 {
+		return fmt.Errorf("core: SearchFanout must be >= 0, got %d", c.SearchFanout)
 	}
 	if c.Stats.NumDocs < 0 {
 		return fmt.Errorf("core: negative NumDocs")

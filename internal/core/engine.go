@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cache"
@@ -71,6 +72,8 @@ type Traffic struct {
 	FetchedPosts   atomic.Uint64                 // postings shipped to querying peers
 	NotifyMessages atomic.Uint64                 // NDK expansion notifications sent
 	ProbeMessages  atomic.Uint64                 // retrieval lattice probes issued
+	FetchRPCs      atomic.Uint64                 // batched fetch RPCs issued by queries
+	QueryRounds    atomic.Uint64                 // lattice levels traversed by queries
 }
 
 // TrafficSnapshot is a point-in-time copy of the counters.
@@ -80,6 +83,8 @@ type TrafficSnapshot struct {
 	FetchedPosts   uint64
 	NotifyMessages uint64
 	ProbeMessages  uint64
+	FetchRPCs      uint64
+	QueryRounds    uint64
 }
 
 // Snapshot copies the counters.
@@ -92,6 +97,8 @@ func (t *Traffic) Snapshot() TrafficSnapshot {
 	s.FetchedPosts = t.FetchedPosts.Load()
 	s.NotifyMessages = t.NotifyMessages.Load()
 	s.ProbeMessages = t.ProbeMessages.Load()
+	s.FetchRPCs = t.FetchRPCs.Load()
+	s.QueryRounds = t.QueryRounds.Load()
 	return s
 }
 
@@ -147,10 +154,12 @@ func (e *Engine) attachStore(node overlay.Member) {
 		}
 		return postings.EncodeKeyedBatch(nil, classified), nil
 	})
-	node.Handle(svcFetch, func(req []byte) ([]byte, error) {
-		key := string(req)
-		status, df, list := store.fetch(key)
-		return encodeFetchResp(key, status, df, list), nil
+	node.Handle(svcFetchBatch, func(req []byte) ([]byte, error) {
+		keys, err := decodeFetchBatchReq(req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeFetchBatchResp(store.fetchBatch(keys)), nil
 	})
 }
 
@@ -329,18 +338,25 @@ func (e *Engine) classifyAndNotify(s int) error {
 }
 
 // SearchResult carries a ranked answer plus the per-query cost metrics of
-// Figure 6.
+// Figure 6 and the batched fan-out accounting.
 type SearchResult struct {
 	Results      []rank.Result
 	FetchedPosts uint64 // postings shipped for this query
 	ProbedKeys   int    // lattice subsets probed
 	FoundKeys    int    // subsets present in the index (HDK or NDK)
+	RPCs         int    // batched fetch RPCs issued (at most one per owner and level)
+	Rounds       int    // lattice levels traversed
 }
 
-// Search maps the query onto the lattice of its term subsets, probes the
-// global index bottom-up with subsumption pruning (supersets of HDKs are
-// never stored; supersets of absent keys cannot exist), fetches the
-// bounded posting lists of all found keys, unions them and ranks.
+// Search maps the query onto the lattice of its term subsets and probes
+// the global index with a level-synchronous, batched, parallel traversal:
+// each level's candidates survive subsumption pruning against the
+// previous level (supersets of HDKs are never stored; supersets of absent
+// keys cannot exist), their owners are resolved in one routing pass, and
+// every owner receives a single multi-key fetch RPC — at most
+// Config.SearchFanout RPCs in flight. Found keys' bounded posting lists
+// are unioned in candidate order (so the ranked answer is identical at
+// any fan-out) and ranked.
 func (e *Engine) Search(q corpus.Query, from overlay.Member, k int) (*SearchResult, error) {
 	res := &SearchResult{}
 	maxSize := e.cfg.SMax
@@ -358,74 +374,222 @@ func (e *Engine) Search(q corpus.Query, from overlay.Member, k int) (*SearchResu
 	}
 	status := make(map[Key]KeyStatus)
 	var acc postings.List
-	var subsets func(start int, cur []corpus.TermID, size int)
-	var probeErr error
-	probe := func(key Key) {
-		canonical := key.CanonicalString(e.vocab)
-		if e.queryCache != nil {
-			if hit, ok := e.queryCache.Get(canonical); ok {
-				res.ProbedKeys++
-				status[key] = hit.status
-				if hit.status != StatusAbsent {
-					res.FoundKeys++
-					acc = postings.Union(acc, hit.list)
-				}
-				return
-			}
+	for size := 1; size <= maxSize; size++ {
+		level := e.levelCandidates(usable, size, status)
+		if len(level) == 0 {
+			// No key of this size survives pruning, so no superset can be
+			// stored either: the traversal is done.
+			break
 		}
-		owner, _, err := e.net.Route(from, canonical)
+		res.Rounds++
+		outcomes, err := e.probeLevel(level, from, res)
 		if err != nil {
-			probeErr = err
-			return
+			return nil, err
 		}
-		raw, err := e.net.CallService(owner.Addr(), svcFetch, []byte(canonical))
-		if err != nil {
-			probeErr = err
-			return
-		}
-		st, _, list, err := decodeFetchResp(raw)
-		if err != nil {
-			probeErr = err
-			return
-		}
-		res.ProbedKeys++
-		status[key] = st
-		if e.queryCache != nil {
-			e.queryCache.Put(canonical, cachedFetch{status: st, list: list})
-		}
-		if st == StatusAbsent {
-			return
-		}
-		res.FoundKeys++
-		res.FetchedPosts += uint64(len(list))
-		acc = postings.Union(acc, list)
-	}
-	for size := 1; size <= maxSize && probeErr == nil; size++ {
-		subsets = func(start int, cur []corpus.TermID, want int) {
-			if probeErr != nil {
-				return
+		// Accumulate in candidate-enumeration order: float score addition
+		// is order-sensitive, so this keeps parallel fan-out bit-identical
+		// to a serial probe sequence.
+		for _, o := range outcomes {
+			res.ProbedKeys++
+			status[o.key] = o.status
+			if !o.fromCache && e.queryCache != nil {
+				e.queryCache.Put(o.canonical, cachedFetch{status: o.status, list: o.list})
 			}
-			if len(cur) == want {
-				key := NewKey(cur...)
-				if want > 1 && !e.allSubkeysNDStatus(key, status) {
-					return // subsumption pruning
-				}
-				probe(key)
-				return
+			if o.status == StatusAbsent {
+				continue
 			}
-			for i := start; i < len(usable); i++ {
-				subsets(i+1, append(cur, usable[i]), want)
+			res.FoundKeys++
+			if !o.fromCache {
+				res.FetchedPosts += uint64(len(o.list))
 			}
+			acc = postings.Union(acc, o.list)
 		}
-		subsets(0, nil, size)
-	}
-	if probeErr != nil {
-		return nil, probeErr
 	}
 	e.traffic.FetchedPosts.Add(res.FetchedPosts)
 	e.traffic.ProbeMessages.Add(uint64(res.ProbedKeys))
+	e.traffic.FetchRPCs.Add(uint64(res.RPCs))
+	e.traffic.QueryRounds.Add(uint64(res.Rounds))
 	res.Results = rank.TopKByScore(acc, k)
 	return res, nil
+}
+
+// levelCandidates enumerates the size-`size` subsets of the usable query
+// terms that survive subsumption pruning. Pruning consults only the
+// previous level's statuses, which is what makes the traversal
+// level-synchronous: within a level every candidate can be probed
+// independently.
+func (e *Engine) levelCandidates(usable []corpus.TermID, size int, status map[Key]KeyStatus) []Key {
+	var out []Key
+	var rec func(start int, cur []corpus.TermID)
+	rec = func(start int, cur []corpus.TermID) {
+		if len(cur) == size {
+			key := NewKey(cur...)
+			if size > 1 && !e.allSubkeysNDStatus(key, status) {
+				return // subsumption pruning
+			}
+			out = append(out, key)
+			return
+		}
+		for i := start; i < len(usable); i++ {
+			rec(i+1, append(cur, usable[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// probeOutcome is one candidate key's answer during a level probe.
+type probeOutcome struct {
+	key       Key
+	canonical string
+	status    KeyStatus
+	list      postings.List
+	fromCache bool
+}
+
+// probeLevel resolves one lattice level: cache hits answer locally, the
+// remaining keys are routed to their owners in one parallel pass, grouped
+// per owner, and fetched with one batched RPC per owner — at most
+// SearchFanout in flight. Workers fill disjoint outcome slots; the slice
+// comes back in candidate order so accumulation stays deterministic.
+func (e *Engine) probeLevel(level []Key, from overlay.Member, res *SearchResult) ([]probeOutcome, error) {
+	outcomes := make([]probeOutcome, len(level))
+	var pending []int // outcome slots needing a network fetch
+	for i, key := range level {
+		canonical := key.CanonicalString(e.vocab)
+		outcomes[i] = probeOutcome{key: key, canonical: canonical}
+		if e.queryCache != nil {
+			if hit, ok := e.queryCache.Get(canonical); ok {
+				outcomes[i].status = hit.status
+				outcomes[i].list = hit.list
+				outcomes[i].fromCache = true
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return outcomes, nil
+	}
+	fanout := e.searchFanout()
+
+	// One routing pass: resolve every pending key's owner concurrently.
+	owners := make([]string, len(pending))
+	routeErrs := make([]error, len(pending))
+	forEachLimit(len(pending), fanout, func(j int) {
+		owner, _, err := e.net.Route(from, outcomes[pending[j]].canonical)
+		if err != nil {
+			routeErrs[j] = err
+			return
+		}
+		owners[j] = owner.Addr()
+	})
+	for _, err := range routeErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Group the pending keys per owner, preserving candidate order both
+	// across batches and inside each batch.
+	byOwner := make(map[string][]int, len(pending))
+	var addrs []string
+	for j, idx := range pending {
+		addr := owners[j]
+		if _, ok := byOwner[addr]; !ok {
+			addrs = append(addrs, addr)
+		}
+		byOwner[addr] = append(byOwner[addr], idx)
+	}
+
+	// One batched fetch RPC per owner.
+	fetchErrs := make([]error, len(addrs))
+	forEachLimit(len(addrs), fanout, func(j int) {
+		fetchErrs[j] = e.fetchOwnerBatch(addrs[j], byOwner[addrs[j]], outcomes)
+	})
+	for _, err := range fetchErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.RPCs += len(addrs)
+	return outcomes, nil
+}
+
+// fetchOwnerBatch issues one multi-key fetch to an index node and fills
+// the outcome slots assigned to it.
+func (e *Engine) fetchOwnerBatch(addr string, idxs []int, outcomes []probeOutcome) error {
+	keys := make([]string, len(idxs))
+	for i, idx := range idxs {
+		keys[i] = outcomes[idx].canonical
+	}
+	raw, err := e.net.CallService(addr, svcFetchBatch, encodeFetchBatchReq(keys))
+	if err != nil {
+		return err
+	}
+	results, err := decodeFetchBatchResp(raw)
+	if err != nil {
+		return err
+	}
+	if len(results) != len(keys) {
+		return fmt.Errorf("%w: %d answers for %d keys", errCorruptRPC, len(results), len(keys))
+	}
+	for i, r := range results {
+		if r.key != keys[i] {
+			return fmt.Errorf("%w: answer for key %q, want %q", errCorruptRPC, r.key, keys[i])
+		}
+		outcomes[idxs[i]].status = r.status
+		outcomes[idxs[i]].list = r.list
+	}
+	return nil
+}
+
+// searchFanout returns the effective per-level RPC concurrency.
+func (e *Engine) searchFanout() int {
+	if e.cfg.SearchFanout < 1 {
+		return 1
+	}
+	return e.cfg.SearchFanout
+}
+
+// SetSearchFanout adjusts the per-level fetch concurrency at runtime.
+// The ranked answer is identical at any value. Not safe to call while
+// searches are in flight.
+func (e *Engine) SetSearchFanout(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.cfg.SearchFanout = n
+}
+
+// forEachLimit invokes fn(0..n-1) from at most limit concurrent
+// goroutines; fn instances must touch disjoint state or synchronize.
+func forEachLimit(n, limit int, fn func(i int)) {
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(limit)
+	for w := 0; w < limit; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // allSubkeysNDStatus prunes the retrieval lattice: a key can only be

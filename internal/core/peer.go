@@ -423,8 +423,11 @@ func (p *Peer) subkeyState(cand Key, ndPrev, freshPrev map[Key]bool) (allND, any
 	return allND, anyFresh
 }
 
-// insertAll routes each candidate key to its DHT owner and inserts the
-// local posting list. It returns the number of postings shipped.
+// insertAll routes each candidate key to its DHT owner, groups the
+// candidates per owner, and ships one insert RPC per owner carrying every
+// (key, posting list) pair that owner is responsible for — the insert-side
+// mirror of the batched query fan-out. It returns the number of postings
+// shipped.
 func (p *Peer) insertAll(cands map[Key]*candAcc, size int) (uint64, error) {
 	keys := make([]Key, 0, len(cands))
 	for k := range cands {
@@ -434,25 +437,33 @@ func (p *Peer) insertAll(cands map[Key]*candAcc, size int) (uint64, error) {
 	sort.Slice(keys, func(i, j int) bool {
 		return keyLess(keys[i], keys[j])
 	})
+	// Routing pass: resolve owners, batching per owner in sorted-key order.
+	byOwner := make(map[string][]postings.KeyedMessage)
+	var addrs []string
 	inserted := uint64(0)
 	for _, k := range keys {
 		list := cands[k].list
 		canonical := k.CanonicalString(vocab)
 		owner, _, err := p.eng.net.Route(p.node, canonical)
 		if err != nil {
-			return inserted, fmt.Errorf("core: route key %q: %w", k.DisplayString(vocab), err)
+			return 0, fmt.Errorf("core: route key %q: %w", k.DisplayString(vocab), err)
 		}
-		req := encodeInsertReq(nil, p.node.Addr(), []postings.KeyedMessage{
-			{Key: canonical, Aux: uint64(size), List: list},
-		})
-		resp, err := p.eng.net.CallService(owner.Addr(), svcInsert, req)
+		addr := owner.Addr()
+		if _, ok := byOwner[addr]; !ok {
+			addrs = append(addrs, addr)
+		}
+		byOwner[addr] = append(byOwner[addr], postings.KeyedMessage{Key: canonical, Aux: uint64(size), List: list})
+		inserted += uint64(len(list))
+	}
+	for _, addr := range addrs {
+		req := encodeInsertReq(nil, p.node.Addr(), byOwner[addr])
+		resp, err := p.eng.net.CallService(addr, svcInsert, req)
 		if err != nil {
-			return inserted, fmt.Errorf("core: insert key %q: %w", k.DisplayString(vocab), err)
+			return 0, fmt.Errorf("core: insert batch at %s: %w", addr, err)
 		}
 		if err := p.applyInsertResponse(resp); err != nil {
-			return inserted, err
+			return 0, err
 		}
-		inserted += uint64(len(list))
 	}
 	return inserted, nil
 }

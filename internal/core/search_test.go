@@ -1,0 +1,235 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// searchQueries builds a deterministic query set against the collection.
+func searchQueries(t testing.TB, col *corpus.Collection, n int) []corpus.Query {
+	t.Helper()
+	qp := corpus.DefaultQueryParams(n)
+	qp.MinHits = 0
+	queries, err := corpus.GenerateQueries(col, qp, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return queries
+}
+
+// expectedSearchCost replays the lattice traversal against the ground
+// truth (KeyInfo statuses, OwnerOf mapping) and returns the exact probe,
+// RPC and round counts a cache-less Search must report: one batched fetch
+// RPC per (owner, level), never one per key.
+func expectedSearchCost(t *testing.T, eng *Engine, q corpus.Query) (probes, rpcs, rounds int) {
+	t.Helper()
+	maxSize := eng.cfg.SMax
+	if len(q.Terms) < maxSize {
+		maxSize = len(q.Terms)
+	}
+	terms := dedupTerms(q.Terms)
+	usable := terms[:0:0]
+	for _, tm := range terms {
+		if int(tm) < len(eng.vf) && !eng.vf[tm] {
+			usable = append(usable, tm)
+		}
+	}
+	status := make(map[Key]KeyStatus)
+	for size := 1; size <= maxSize; size++ {
+		level := eng.levelCandidates(usable, size, status)
+		if len(level) == 0 {
+			break
+		}
+		rounds++
+		owners := make(map[string]bool)
+		for _, key := range level {
+			owner, ok := eng.net.OwnerOf(key.CanonicalString(eng.vocab))
+			if !ok {
+				t.Fatal("no owner for key")
+			}
+			owners[owner.Addr()] = true
+			st, _, _ := eng.KeyInfo(key)
+			status[key] = st
+			probes++
+		}
+		rpcs += len(owners)
+	}
+	return probes, rpcs, rounds
+}
+
+func TestSearchBatchedRPCAccounting(t *testing.T) {
+	col := testCollection(t, 80)
+	cfg := testConfig(col, 6)
+	cfg.SearchFanout = 4
+	eng := buildEngine(t, col, 4, cfg)
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := eng.net.Members()
+	queries := searchQueries(t, col, 25)
+	multiKeyRPCSaved := false
+	for i, q := range queries {
+		wantProbes, wantRPCs, wantRounds := expectedSearchCost(t, eng, q)
+		res, err := eng.Search(q, nodes[i%len(nodes)], 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ProbedKeys != wantProbes || res.RPCs != wantRPCs || res.Rounds != wantRounds {
+			t.Fatalf("query %d: probes/rpcs/rounds = %d/%d/%d, want %d/%d/%d",
+				i, res.ProbedKeys, res.RPCs, res.Rounds, wantProbes, wantRPCs, wantRounds)
+		}
+		// At most one RPC per (owner, level) — the batching guarantee.
+		if res.RPCs > res.Rounds*eng.net.Size() {
+			t.Fatalf("query %d: %d RPCs > %d rounds x %d owners", i, res.RPCs, res.Rounds, eng.net.Size())
+		}
+		if res.RPCs < res.ProbedKeys {
+			multiKeyRPCSaved = true
+		}
+	}
+	if !multiKeyRPCSaved {
+		t.Fatal("no query batched several keys into one RPC — collection too sparse for the test")
+	}
+	snap := eng.Traffic().Snapshot()
+	if snap.FetchRPCs == 0 || snap.QueryRounds == 0 {
+		t.Fatalf("traffic counters not plumbed: %+v", snap)
+	}
+	if snap.FetchRPCs >= snap.ProbeMessages {
+		t.Fatalf("aggregate RPCs %d >= probes %d: batching saved nothing", snap.FetchRPCs, snap.ProbeMessages)
+	}
+}
+
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	col := testCollection(t, 80)
+	cfg := testConfig(col, 6)
+	eng := buildEngine(t, col, 5, cfg)
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := eng.net.Members()
+	queries := searchQueries(t, col, 20)
+	for i, q := range queries {
+		eng.SetSearchFanout(1)
+		serial, err := eng.Search(q, nodes[i%len(nodes)], 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetSearchFanout(8)
+		parallel, err := eng.Search(q, nodes[i%len(nodes)], 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Results, parallel.Results) {
+			t.Fatalf("query %d: parallel results differ from serial", i)
+		}
+		if serial.FetchedPosts != parallel.FetchedPosts || serial.ProbedKeys != parallel.ProbedKeys ||
+			serial.FoundKeys != parallel.FoundKeys || serial.RPCs != parallel.RPCs ||
+			serial.Rounds != parallel.Rounds {
+			t.Fatalf("query %d: cost metrics differ: serial %+v vs parallel %+v", i, serial, parallel)
+		}
+	}
+}
+
+// TestConcurrentSearches exercises the worker pool from many goroutines
+// sharing one engine and query cache — the -race target the batched
+// fan-out must survive.
+func TestConcurrentSearches(t *testing.T) {
+	col := testCollection(t, 60)
+	cfg := testConfig(col, 6)
+	cfg.SearchFanout = 4
+	eng := buildEngine(t, col, 4, cfg)
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	eng.EnableQueryCache(4096)
+	nodes := eng.net.Members()
+	queries := searchQueries(t, col, 10)
+
+	// Reference answers come from a second, identically-built engine so
+	// the concurrent phase below starts with a cold cache and actually
+	// drives the batched fetch path, racing cache fills with cache hits.
+	engRef := buildEngine(t, col, 4, cfg)
+	if err := engRef.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	refNodes := engRef.net.Members()
+	want := make([][]corpus.DocID, len(queries))
+	for i, q := range queries {
+		res, err := engRef.Search(q, refNodes[i%len(refNodes)], 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res.Results {
+			want[i] = append(want[i], r.Doc)
+		}
+	}
+
+	goroutines := 8
+	if testing.Short() {
+		goroutines = 4
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, q := range queries {
+					res, err := eng.Search(q, nodes[(i+g)%len(nodes)], 20)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if len(res.Results) != len(want[i]) {
+						t.Errorf("goroutine %d query %d: %d results, want %d", g, i, len(res.Results), len(want[i]))
+						return
+					}
+					for j, r := range res.Results {
+						if want[i][j] != r.Doc {
+							t.Errorf("goroutine %d query %d: result %d diverged", g, i, j)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSearchFanoutClamps(t *testing.T) {
+	col := testCollection(t, 30)
+	cfg := testConfig(col, 5)
+	cfg.SearchFanout = 0 // engine must still probe serially, not hang
+	eng := buildEngine(t, col, 3, cfg)
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.searchFanout(); got != 1 {
+		t.Fatalf("searchFanout() = %d with SearchFanout=0, want 1", got)
+	}
+	eng.SetSearchFanout(-5)
+	if got := eng.searchFanout(); got != 1 {
+		t.Fatalf("searchFanout() = %d after SetSearchFanout(-5), want 1", got)
+	}
+	q := corpus.Query{Terms: col.Docs[0].Terms[:2]}
+	if _, err := eng.Search(q, eng.net.Members()[0], 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigRejectsNegativeFanout(t *testing.T) {
+	col := testCollection(t, 30)
+	cfg := testConfig(col, 5)
+	cfg.SearchFanout = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative SearchFanout accepted")
+	}
+}

@@ -12,9 +12,9 @@ import (
 
 // Service names the HDK engine registers on overlay nodes.
 const (
-	svcInsert = "hdk.insert"
-	svcFetch  = "hdk.fetch"
-	svcNotify = "hdk.notify"
+	svcInsert     = "hdk.insert"
+	svcFetchBatch = "hdk.fetchBatch"
+	svcNotify     = "hdk.notify"
 )
 
 // KeyStatus is the global classification of a key held by the index.
@@ -148,6 +148,10 @@ func (s *hdkStore) classifySweep(size int) map[string][]string {
 func (s *hdkStore) fetch(key string) (KeyStatus, int, postings.List) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.fetchLocked(key)
+}
+
+func (s *hdkStore) fetchLocked(key string) (KeyStatus, int, postings.List) {
 	e, ok := s.entries[key]
 	if !ok || !e.classified {
 		return StatusAbsent, 0, nil
@@ -158,6 +162,20 @@ func (s *hdkStore) fetch(key string) (KeyStatus, int, postings.List) {
 		scored[i] = postings.Posting{Doc: p.Doc, Score: p.Score * idf}
 	}
 	return e.status, e.df, scored
+}
+
+// fetchBatch answers one multi-key fetch under a single lock acquisition:
+// the response carries, per requested key in request order, the same
+// (status, df, scored list) triple a single fetch would return.
+func (s *hdkStore) fetchBatch(keys []string) []fetchResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]fetchResult, len(keys))
+	for i, key := range keys {
+		status, df, list := s.fetchLocked(key)
+		out[i] = fetchResult{key: key, status: status, df: df, list: list}
+	}
+	return out
 }
 
 // storedBySize returns resident posting counts and key counts per key
@@ -199,23 +217,50 @@ func decodeInsertReq(req []byte) (contributor string, batch []postings.KeyedMess
 	return contributor, batch, err
 }
 
-// fetch response: a keyed message with Aux = df<<2 | status.
-func encodeFetchResp(key string, status KeyStatus, df int, list postings.List) []byte {
-	return postings.EncodeKeyed(nil, postings.KeyedMessage{
-		Key:  key,
-		Aux:  uint64(df)<<2 | uint64(status),
-		List: list,
-	})
+// fetchResult is one key's answer inside a batched fetch response.
+type fetchResult struct {
+	key    string
+	status KeyStatus
+	df     int
+	list   postings.List
 }
 
-func decodeFetchResp(resp []byte) (status KeyStatus, df int, list postings.List, err error) {
-	m, _, err := postings.DecodeKeyed(resp)
+// batch fetch request: a count-prefixed key list.
+func encodeFetchBatchReq(keys []string) []byte {
+	return postings.EncodeKeyList(nil, keys)
+}
+
+func decodeFetchBatchReq(req []byte) ([]string, error) {
+	return postings.DecodeKeyList(req)
+}
+
+// batch fetch response: a keyed batch mirroring the single fetch response
+// per key (Aux = df<<2 | status), one message per requested key, in
+// request order.
+func encodeFetchBatchResp(results []fetchResult) []byte {
+	ms := make([]postings.KeyedMessage, len(results))
+	for i, r := range results {
+		ms[i] = postings.KeyedMessage{
+			Key:  r.key,
+			Aux:  uint64(r.df)<<2 | uint64(r.status),
+			List: r.list,
+		}
+	}
+	return postings.EncodeKeyedBatch(nil, ms)
+}
+
+func decodeFetchBatchResp(resp []byte) ([]fetchResult, error) {
+	batch, err := postings.DecodeKeyedBatch(resp)
 	if err != nil {
-		return StatusAbsent, 0, nil, err
+		return nil, err
 	}
-	status = KeyStatus(m.Aux & 3)
-	if status > StatusNDK {
-		return StatusAbsent, 0, nil, fmt.Errorf("%w: bad status %d", errCorruptRPC, status)
+	out := make([]fetchResult, len(batch))
+	for i, m := range batch {
+		status := KeyStatus(m.Aux & 3)
+		if status > StatusNDK {
+			return nil, fmt.Errorf("%w: bad status %d", errCorruptRPC, status)
+		}
+		out[i] = fetchResult{key: m.Key, status: status, df: int(m.Aux >> 2), list: m.List}
 	}
-	return status, int(m.Aux >> 2), m.List, nil
+	return out, nil
 }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/postings"
+	"repro/internal/rank"
+)
+
+func TestFetchBatchReqRoundTrip(t *testing.T) {
+	keys := []string{"alpha", "beta\x1fgamma", ""}
+	got, err := decodeFetchBatchReq(encodeFetchBatchReq(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("got %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: %q != %q", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestFetchBatchRespRoundTrip(t *testing.T) {
+	in := []fetchResult{
+		{key: "hdk", status: StatusHDK, df: 7, list: postings.List{{Doc: 1, Score: 2.5}, {Doc: 4, Score: 0.5}}},
+		{key: "ndk\x1fpair", status: StatusNDK, df: 412, list: postings.List{{Doc: 2, Score: 1.0}}},
+		{key: "missing", status: StatusAbsent, df: 0, list: nil},
+	}
+	got, err := decodeFetchBatchResp(encodeFetchBatchResp(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d results, want %d", len(got), len(in))
+	}
+	for i, want := range in {
+		g := got[i]
+		if g.key != want.key || g.status != want.status || g.df != want.df || len(g.list) != len(want.list) {
+			t.Fatalf("result %d: %+v != %+v", i, g, want)
+		}
+		for j := range want.list {
+			if g.list[j] != want.list[j] {
+				t.Fatalf("result %d posting %d: %+v != %+v", i, j, g.list[j], want.list[j])
+			}
+		}
+	}
+}
+
+func TestFetchBatchRespCorrupt(t *testing.T) {
+	// Status field outside the valid range.
+	bad := postings.EncodeKeyedBatch(nil, []postings.KeyedMessage{{Key: "k", Aux: 3}})
+	if _, err := decodeFetchBatchResp(bad); !errors.Is(err, errCorruptRPC) {
+		t.Errorf("bad status: got %v, want errCorruptRPC", err)
+	}
+	// Truncations of a valid response must error, never panic.
+	valid := encodeFetchBatchResp([]fetchResult{
+		{key: "alpha", status: StatusHDK, df: 3, list: postings.List{{Doc: 1, Score: 1}}},
+		{key: "beta", status: StatusNDK, df: 9, list: postings.List{{Doc: 2, Score: 2}}},
+	})
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := decodeFetchBatchResp(valid[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestStoreFetchBatchMatchesSingleFetches(t *testing.T) {
+	cfg := DefaultConfig(rank.CollectionStats{NumDocs: 100, AvgDocLen: 50})
+	cfg.DFMax = 2
+	store := newHDKStore(&cfg)
+	store.insert("solo", 1, postings.List{{Doc: 1, Score: 1}}, "peer-0")
+	store.insert("pop", 1, postings.List{{Doc: 1, Score: 1}, {Doc: 2, Score: 2}, {Doc: 3, Score: 3}}, "peer-0")
+	store.classifySweep(1)
+	store.insert("unclassified", 1, postings.List{{Doc: 9, Score: 1}}, "peer-0")
+
+	keys := []string{"solo", "pop", "unclassified", "absent"}
+	batch := store.fetchBatch(keys)
+	if len(batch) != len(keys) {
+		t.Fatalf("batch answered %d keys, want %d", len(batch), len(keys))
+	}
+	for i, key := range keys {
+		status, df, list := store.fetch(key)
+		r := batch[i]
+		if r.key != key || r.status != status || r.df != df || len(r.list) != len(list) {
+			t.Fatalf("key %q: batch %+v != single (%v, %d, %d postings)", key, r, status, df, len(list))
+		}
+	}
+	if batch[0].status != StatusHDK || batch[1].status != StatusNDK ||
+		batch[2].status != StatusAbsent || batch[3].status != StatusAbsent {
+		t.Fatalf("unexpected statuses: %+v", batch)
+	}
+}

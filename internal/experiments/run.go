@@ -23,6 +23,8 @@ type HDKStep struct {
 	KeysBySize        [core.MaxKeySize + 1]int
 	KeysTotal         int
 	QueryPostingsAvg  float64 // Figure 6
+	QueryProbesAvg    float64 // lattice keys probed per query
+	QueryRPCsAvg      float64 // batched fetch RPCs per query (<= probes)
 	OverlapAvgPercent float64 // Figure 7
 	NotifyMessages    uint64
 }
@@ -147,8 +149,8 @@ func runStep(scale Scale, full *corpus.Collection, peers int, progress Progress)
 			return nil, err
 		}
 		step.HDK = append(step.HDK, *h)
-		progress("%2d peers | %6d docs | HDK df=%d: %.0f stored/peer, %.0f inserted/peer, %.0f postings/query, %.0f%% overlap",
-			peers, docs, dfmax, h.StoredPerPeer, h.InsertedPerPeer, h.QueryPostingsAvg, h.OverlapAvgPercent)
+		progress("%2d peers | %6d docs | HDK df=%d: %.0f stored/peer, %.0f inserted/peer, %.0f postings/query (%.1f probes in %.1f RPCs), %.0f%% overlap",
+			peers, docs, dfmax, h.StoredPerPeer, h.InsertedPerPeer, h.QueryPostingsAvg, h.QueryProbesAvg, h.QueryRPCsAvg, h.OverlapAvgPercent)
 	}
 	return step, nil
 }
@@ -186,6 +188,9 @@ func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
 	cfg.SMax = scale.SMax
 	cfg.Window = scale.Window
 	cfg.Ff = scale.Ff
+	if scale.SearchFanout > 0 {
+		cfg.SearchFanout = scale.SearchFanout
+	}
 	eng, err := core.NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
 	if err != nil {
 		return nil, err
@@ -215,6 +220,7 @@ func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
 	h.KeysBySize = istats.KeysBySize
 
 	var fetched uint64
+	var probes, rpcs int
 	var overlap float64
 	for i, q := range queries {
 		res, err := eng.Search(q, nodes[i%peers], 20)
@@ -222,10 +228,14 @@ func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
 			return nil, err
 		}
 		fetched += res.FetchedPosts
+		probes += res.ProbedKeys
+		rpcs += res.RPCs
 		overlap += rank.Overlap(reference[i], res.Results, 20)
 	}
 	if len(queries) > 0 {
 		h.QueryPostingsAvg = float64(fetched) / float64(len(queries))
+		h.QueryProbesAvg = float64(probes) / float64(len(queries))
+		h.QueryRPCsAvg = float64(rpcs) / float64(len(queries))
 		h.OverlapAvgPercent = overlap / float64(len(queries))
 	}
 	return h, nil

@@ -75,6 +75,15 @@ func TestRunProducesAllSteps(t *testing.T) {
 		if s.STStoredPerPeer <= 0 || s.STQueryPostings <= 0 {
 			t.Errorf("step %d: empty ST measurements", i)
 		}
+		for _, h := range s.HDK {
+			if h.QueryRPCsAvg <= 0 || h.QueryProbesAvg <= 0 {
+				t.Errorf("step %d DFmax=%d: RPC metrics not measured", i, h.DFMax)
+			}
+			if h.QueryRPCsAvg > h.QueryProbesAvg {
+				t.Errorf("step %d DFmax=%d: %.1f RPCs/query > %.1f probes/query — batching regressed",
+					i, h.DFMax, h.QueryRPCsAvg, h.QueryProbesAvg)
+			}
+		}
 	}
 }
 
@@ -207,6 +216,9 @@ func TestRunRejectsInvalidScale(t *testing.T) {
 func TestRunOnPGridFabric(t *testing.T) {
 	// The whole Section 5 sweep runs on the paper's own substrate and
 	// keeps the headline shape: ST grows, HDK stays bounded.
+	if testing.Short() {
+		t.Skip("skipping full P-Grid sweep in short mode (the chord sweep already covers the pipeline)")
+	}
 	s := tinyScale()
 	s.Fabric = "pgrid"
 	s.PeerSteps = []int{4, 8}

@@ -31,7 +31,10 @@ type Scale struct {
 	Ff          int   // paper: 100,000
 	NumQueries  int   // paper: 3,000
 	MinHits     int   // paper: >20
-	Seed        int64
+	// SearchFanout bounds concurrent per-owner fetch RPCs per lattice
+	// level during retrieval; 0 keeps the engine default.
+	SearchFanout int
+	Seed         int64
 }
 
 // MaxDocs returns the largest collection size the scale reaches.
@@ -65,6 +68,9 @@ func (s Scale) Validate() error {
 	}
 	if s.Window < 2 || s.SMax < 1 {
 		return fmt.Errorf("experiments: bad window/smax")
+	}
+	if s.SearchFanout < 0 {
+		return fmt.Errorf("experiments: negative search fanout %d", s.SearchFanout)
 	}
 	switch s.Fabric {
 	case "", "chord", "pgrid":

@@ -7,8 +7,8 @@
 // routing, and the scalability analysis explicitly excludes overlay
 // maintenance traffic ("we do not analyze the total traffic between the
 // peers related to P2P network maintenance and routing"). A Chord-style
-// ring therefore reproduces every accounted quantity; see DESIGN.md
-// Substitutions.
+// ring therefore reproduces every accounted quantity; internal/pgrid
+// provides the paper's own substrate behind the same Fabric interface.
 package overlay
 
 import (

@@ -48,6 +48,41 @@ func DecodeKeyed(buf []byte) (KeyedMessage, int, error) {
 	return KeyedMessage{Key: key, Aux: aux, List: list}, off + consumed, nil
 }
 
+// EncodeKeyList appends a count-prefixed list of bare keys to buf — the
+// request side of batched fetches, where no aux field or posting list
+// accompanies the keys.
+func EncodeKeyList(buf []byte, keys []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+// DecodeKeyList parses a count-prefixed key list.
+func DecodeKeyList(buf []byte) ([]string, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bad key count", ErrCorrupt)
+	}
+	if n > uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: key count %d exceeds buffer", ErrCorrupt, n)
+	}
+	off := sz
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 || uint64(len(buf)-off-sz) < l {
+			return nil, fmt.Errorf("%w: bad key length", ErrCorrupt)
+		}
+		off += sz
+		out = append(out, string(buf[off:off+int(l)]))
+		off += int(l)
+	}
+	return out, nil
+}
+
 // EncodeKeyedBatch encodes a batch of keyed messages prefixed by a count.
 func EncodeKeyedBatch(buf []byte, ms []KeyedMessage) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(ms)))

@@ -1,0 +1,91 @@
+package postings
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestKeyedRoundTrip(t *testing.T) {
+	in := KeyedMessage{
+		Key:  "alpha\x1fbeta",
+		Aux:  (412 << 2) | 2,
+		List: List{{Doc: 3, Score: 1.5}, {Doc: 9, Score: 0.25}},
+	}
+	buf := EncodeKeyed(nil, in)
+	out, consumed, err := DecodeKeyed(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(buf))
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestKeyListRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"one"},
+		{"a", "", "term1\x1fterm2", "a much longer key string than the others"},
+	}
+	for _, keys := range cases {
+		buf := EncodeKeyList(nil, keys)
+		got, err := DecodeKeyList(buf)
+		if err != nil {
+			t.Fatalf("keys %q: %v", keys, err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("keys %q: got %d back", keys, len(got))
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("key %d: %q != %q", i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+func TestKeyListAppendsToBuffer(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	buf := EncodeKeyList(prefix, []string{"x", "y"})
+	if buf[0] != 0xde || buf[1] != 0xad {
+		t.Fatal("prefix clobbered")
+	}
+	got, err := DecodeKeyList(buf[2:])
+	if err != nil || len(got) != 2 {
+		t.Fatalf("decode after prefix: %v, %d keys", err, len(got))
+	}
+}
+
+func TestKeyListCorrupt(t *testing.T) {
+	valid := EncodeKeyList(nil, []string{"alpha", "beta", "gamma"})
+	cases := map[string][]byte{
+		"empty input":         {},
+		"truncated mid-key":   valid[:len(valid)-3],
+		"truncated to count":  valid[:1],
+		"huge count":          {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"key length past end": {1, 200, 'a'},
+	}
+	for name, buf := range cases {
+		if _, err := DecodeKeyList(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestKeyListCorruptNeverPanics(t *testing.T) {
+	valid := EncodeKeyList(nil, []string{"alpha", "beta"})
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeKeyList(valid[:cut]); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: unexpected error class %v", cut, err)
+		}
+	}
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		DecodeKeyList(mut) // must not panic; error or garbage both fine
+	}
+}
