@@ -1,39 +1,67 @@
 // Command hdkbench reproduces the paper's evaluation: it runs the
 // Section 5 sweep (growing peer network, distributed single-term baseline
 // vs HDK engine at several DFmax values, centralized BM25 reference) and
-// prints every table and figure series the paper reports.
+// prints every table and figure series the paper reports. The avail
+// experiment measures the replication subsystem instead: recall under
+// node crashes at several replication factors, before and after churn
+// repair.
 //
 // Usage:
 //
-//	hdkbench [-scale small|medium|paper] [-experiment all|table1|table2|fig2|...|fig8] [-fanout N] [-quiet]
+//	hdkbench [-scale small|medium|paper] [-experiment all|table1|table2|fig2|...|fig8|avail]
+//	         [-fanout N] [-replicas R[,R...]] [-kill F] [-json PATH] [-quiet]
 //
 // The small scale finishes in seconds, medium in minutes; paper runs the
-// verbatim Table 2 parameters (hours in one process).
+// verbatim Table 2 parameters (hours in one process). -json additionally
+// writes the machine-readable results (configuration, per-level RPC and
+// probe counts, build/query wall-clock) to PATH — the BENCH_*.json
+// perf-trajectory format.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small, medium or paper")
-	experiment := flag.String("experiment", "all", "artifact to print: all, table1, table2, fig2..fig8")
+	experiment := flag.String("experiment", "all", "artifact to print: all, table1, table2, fig2..fig8, avail")
 	fabric := flag.String("fabric", "chord", "overlay substrate: chord or pgrid (the paper's P-Grid)")
 	fanout := flag.Int("fanout", 0, "concurrent per-owner fetch RPCs per query lattice level (0 = engine default)")
+	replicas := flag.String("replicas", "", "replication factor; for -experiment avail a comma list to compare, e.g. 1,2,3 (default 1,3)")
+	kill := flag.Float64("kill", 0.2, "fraction of nodes crashed by the avail experiment")
+	jsonPath := flag.String("json", "", "also write machine-readable results to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
-	if err := run(*scaleName, *experiment, *fabric, *fanout, *quiet); err != nil {
+	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *kill, *fanout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "hdkbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, experiment, fabric string, fanout int, quiet bool) error {
+// parseReplicas parses a comma-separated replication-factor list.
+func parseReplicas(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || r < 1 {
+			return nil, fmt.Errorf("bad replication factor %q", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func run(scaleName, experiment, fabric, replicas, jsonPath string, kill float64, fanout int, quiet bool) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -47,17 +75,23 @@ func run(scaleName, experiment, fabric string, fanout int, quiet bool) error {
 	}
 	scale.Fabric = fabric
 	scale.SearchFanout = fanout
+	rlist, err := parseReplicas(replicas)
+	if err != nil {
+		return err
+	}
 
 	// The purely analytic artifacts need no sweep.
-	switch experiment {
-	case "fig2":
-		experiments.Fig2().Fprint(os.Stdout)
-		return nil
-	case "fig8":
-		experiments.Fig8().Fprint(os.Stdout)
-		return nil
-	case "table2":
-		experiments.Table2(scale).Fprint(os.Stdout)
+	analytic := map[string]func() *experiments.Table{
+		"fig2":   experiments.Fig2,
+		"fig8":   experiments.Fig8,
+		"table2": func() *experiments.Table { return experiments.Table2(scale) },
+	}
+	if mk, ok := analytic[experiment]; ok {
+		t := mk()
+		t.Fprint(os.Stdout)
+		if jsonPath != "" {
+			return experiments.WriteJSON(jsonPath, t)
+		}
 		return nil
 	}
 
@@ -66,6 +100,28 @@ func run(scaleName, experiment, fabric string, fanout int, quiet bool) error {
 		progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+
+	if experiment == "avail" {
+		if len(rlist) == 0 {
+			rlist = []int{1, 3}
+		}
+		rep, err := experiments.Availability(scale, kill, rlist, progress)
+		if err != nil {
+			return err
+		}
+		rep.Fprint(os.Stdout)
+		if jsonPath != "" {
+			return experiments.WriteJSON(jsonPath, rep)
+		}
+		return nil
+	}
+
+	if len(rlist) > 1 {
+		return fmt.Errorf("sweep experiments take a single -replicas value (got %q)", replicas)
+	}
+	if len(rlist) == 1 {
+		scale.Replicas = rlist[0]
 	}
 	res, err := experiments.Run(scale, progress)
 	if err != nil {
@@ -92,6 +148,9 @@ func run(scaleName, experiment, fabric string, fanout int, quiet bool) error {
 		experiments.Fig7(res).Fprint(os.Stdout)
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	if jsonPath != "" {
+		return experiments.WriteJSON(jsonPath, experiments.BenchJSON(res))
 	}
 	return nil
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hdksearch [-docs N] [-peers N] [-dfmax N] [-topk N] [-fanout N]
+//	hdksearch [-docs N] [-peers N] [-dfmax N] [-topk N] [-fanout N] [-replicas R]
 //
 // Type a query (space-separated terms from the printed sample
 // vocabulary), or one of the commands:
@@ -36,15 +36,16 @@ func main() {
 	dfmax := flag.Int("dfmax", 12, "DFmax discriminative threshold")
 	topk := flag.Int("topk", 10, "results per query")
 	fanout := flag.Int("fanout", 4, "concurrent per-owner fetch RPCs per lattice level")
+	replicas := flag.Int("replicas", 1, "R-way key replication factor (searches fail over between replicas)")
 	flag.Parse()
 
-	if err := run(*docs, *peers, *dfmax, *topk, *fanout); err != nil {
+	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas); err != nil {
 		fmt.Fprintln(os.Stderr, "hdksearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, peers, dfmax, topk, fanout int) error {
+func run(docs, peers, dfmax, topk, fanout, replicas int) error {
 	p := corpus.DefaultGenParams(docs)
 	p.AvgDocLen = 80
 	col, err := corpus.Generate(p)
@@ -63,6 +64,7 @@ func run(docs, peers, dfmax, topk, fanout int) error {
 	cfg.DFMax = dfmax
 	cfg.Window = 10
 	cfg.SearchFanout = fanout
+	cfg.ReplicationFactor = replicas
 	eng, err := core.NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
 	if err != nil {
 		return err
@@ -72,8 +74,8 @@ func run(docs, peers, dfmax, topk, fanout int) error {
 			return err
 		}
 	}
-	fmt.Printf("indexing %d docs over %d peers (DFmax=%d, w=%d, smax=%d)...\n",
-		col.M(), peers, cfg.DFMax, cfg.Window, cfg.SMax)
+	fmt.Printf("indexing %d docs over %d peers (DFmax=%d, w=%d, smax=%d, R=%d)...\n",
+		col.M(), peers, cfg.DFMax, cfg.Window, cfg.SMax, cfg.ReplicationFactor)
 	if err := eng.BuildIndex(); err != nil {
 		return err
 	}
@@ -149,8 +151,8 @@ func printStats(eng *core.Engine, net *overlay.Network) {
 	count, hops := net.LookupStats()
 	fmt.Printf("dht lookups %d, mean hops %.2f | transport: %d msgs, %d bytes\n",
 		count, hops, net.TransportStats().Messages, net.TransportStats().Bytes)
-	fmt.Printf("queries: %d lattice probes answered by %d batched fetch RPCs over %d levels\n",
-		traffic.ProbeMessages, traffic.FetchRPCs, traffic.QueryRounds)
+	fmt.Printf("queries: %d lattice probes answered by %d batched fetch RPCs over %d levels (%d replica failovers)\n",
+		traffic.ProbeMessages, traffic.FetchRPCs, traffic.QueryRounds, traffic.SearchFailovers)
 }
 
 func printDoc(col *corpus.Collection, arg string) {

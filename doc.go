@@ -8,8 +8,12 @@
 // lists, BM25 ranking, a Chord-style DHT over in-process and TCP
 // transports, the single-term baselines, the Section 4 scalability
 // analysis, and an experiment harness regenerating every table and figure
-// of the evaluation. See README.md for build, test and benchmark
-// instructions and an overview of the batched query path.
+// of the evaluation. internal/replica adds the availability layer the
+// prototype inherited from P-Grid: R-way key placement over any overlay
+// fabric, search failover between replicas, and churn repair that
+// restores coverage after node crashes without re-indexing. See README.md
+// for build, test and benchmark instructions, an overview of the batched
+// query path, and the replication/failure model.
 //
 // The root package only anchors the repository-level benchmarks in
 // bench_test.go; the implementation lives under internal/.

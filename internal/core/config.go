@@ -26,6 +26,13 @@ type Config struct {
 	// Kademlia-family lookups). Values <= 1 probe owners serially; the
 	// ranked answer is identical at any setting.
 	SearchFanout int
+	// ReplicationFactor is the number of distinct overlay members each
+	// key's index entry is stored on (R-way placement via
+	// internal/replica). Values <= 1 keep a single copy; higher values
+	// make builds ship R× the postings but let Search fail over to the
+	// surviving replicas when an index node departs or is unreachable.
+	// The effective factor is capped at the overlay size.
+	ReplicationFactor int
 	// BM25 parameterizes the partial scores postings carry.
 	BM25 rank.BM25Params
 	// Stats are the collection-wide statistics used for scoring
@@ -45,13 +52,14 @@ type Config struct {
 // collection with the given global stats.
 func DefaultConfig(stats rank.CollectionStats) Config {
 	return Config{
-		DFMax:        400,
-		SMax:         3,
-		Window:       20,
-		Ff:           100000,
-		SearchFanout: 4,
-		BM25:         rank.DefaultBM25(),
-		Stats:        stats,
+		DFMax:             400,
+		SMax:              3,
+		Window:            20,
+		Ff:                100000,
+		SearchFanout:      4,
+		ReplicationFactor: 1,
+		BM25:              rank.DefaultBM25(),
+		Stats:             stats,
 	}
 }
 
@@ -71,6 +79,9 @@ func (c Config) Validate() error {
 	}
 	if c.SearchFanout < 0 {
 		return fmt.Errorf("core: SearchFanout must be >= 0, got %d", c.SearchFanout)
+	}
+	if c.ReplicationFactor < 0 {
+		return fmt.Errorf("core: ReplicationFactor must be >= 0, got %d", c.ReplicationFactor)
 	}
 	if c.Stats.NumDocs < 0 {
 		return fmt.Errorf("core: negative NumDocs")

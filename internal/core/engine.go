@@ -11,6 +11,7 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/postings"
 	"repro/internal/rank"
+	"repro/internal/replica"
 )
 
 // Engine coordinates the HDK engine over an overlay network: it owns the
@@ -68,23 +69,29 @@ func (e *Engine) QueryCacheStats() (hits, misses uint64) {
 // Traffic aggregates the paper's posting/message counters. InsertedBySize
 // feeds Figure 5 (IS_s); Fetched feeds Figure 6.
 type Traffic struct {
-	InsertedBySize [MaxKeySize + 1]atomic.Uint64 // postings shipped into the index, per key size
-	FetchedPosts   atomic.Uint64                 // postings shipped to querying peers
-	NotifyMessages atomic.Uint64                 // NDK expansion notifications sent
-	ProbeMessages  atomic.Uint64                 // retrieval lattice probes issued
-	FetchRPCs      atomic.Uint64                 // batched fetch RPCs issued by queries
-	QueryRounds    atomic.Uint64                 // lattice levels traversed by queries
+	InsertedBySize  [MaxKeySize + 1]atomic.Uint64 // postings shipped into the index, per key size (all replicas)
+	FetchedPosts    atomic.Uint64                 // postings shipped to querying peers
+	NotifyMessages  atomic.Uint64                 // NDK expansion notifications sent
+	ProbeMessages   atomic.Uint64                 // retrieval lattice probes issued
+	ProbesBySize    [MaxKeySize + 1]atomic.Uint64 // lattice probes per level (= key size)
+	FetchRPCs       atomic.Uint64                 // batched fetch RPCs issued by queries
+	FetchRPCsBySize [MaxKeySize + 1]atomic.Uint64 // batched fetch RPCs per level
+	QueryRounds     atomic.Uint64                 // lattice levels traversed by queries
+	SearchFailovers atomic.Uint64                 // fetch batches re-sent to an alternate replica
 }
 
 // TrafficSnapshot is a point-in-time copy of the counters.
 type TrafficSnapshot struct {
-	InsertedBySize [MaxKeySize + 1]uint64
-	InsertedTotal  uint64
-	FetchedPosts   uint64
-	NotifyMessages uint64
-	ProbeMessages  uint64
-	FetchRPCs      uint64
-	QueryRounds    uint64
+	InsertedBySize  [MaxKeySize + 1]uint64
+	InsertedTotal   uint64
+	FetchedPosts    uint64
+	NotifyMessages  uint64
+	ProbeMessages   uint64
+	ProbesBySize    [MaxKeySize + 1]uint64
+	FetchRPCs       uint64
+	FetchRPCsBySize [MaxKeySize + 1]uint64
+	QueryRounds     uint64
+	SearchFailovers uint64
 }
 
 // Snapshot copies the counters.
@@ -93,12 +100,15 @@ func (t *Traffic) Snapshot() TrafficSnapshot {
 	for i := range t.InsertedBySize {
 		s.InsertedBySize[i] = t.InsertedBySize[i].Load()
 		s.InsertedTotal += s.InsertedBySize[i]
+		s.ProbesBySize[i] = t.ProbesBySize[i].Load()
+		s.FetchRPCsBySize[i] = t.FetchRPCsBySize[i].Load()
 	}
 	s.FetchedPosts = t.FetchedPosts.Load()
 	s.NotifyMessages = t.NotifyMessages.Load()
 	s.ProbeMessages = t.ProbeMessages.Load()
 	s.FetchRPCs = t.FetchRPCs.Load()
 	s.QueryRounds = t.QueryRounds.Load()
+	s.SearchFailovers = t.SearchFailovers.Load()
 	return s
 }
 
@@ -161,6 +171,56 @@ func (e *Engine) attachStore(node overlay.Member) {
 		}
 		return encodeFetchBatchResp(store.fetchBatch(keys)), nil
 	})
+	node.Handle(replica.Service, func(req []byte) ([]byte, error) {
+		items, err := replica.DecodeBatch(req)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			if _, err := store.importEntry(it.Key, it.Blob); err != nil {
+				return nil, fmt.Errorf("core: repair import %q: %w", it.Key, err)
+			}
+		}
+		return nil, nil
+	})
+}
+
+// replicas returns the configured replication factor (>= 1). The
+// effective replica set of a key is additionally capped at the overlay
+// size by the resolver.
+func (e *Engine) replicas() int {
+	if e.cfg.ReplicationFactor < 1 {
+		return 1
+	}
+	return e.cfg.ReplicationFactor
+}
+
+// replicaChain returns a key's ordered replica addresses — the routed
+// primary first (when routing succeeded), then the resolver's remaining
+// owners. Both the insert fan-out and the fetch failover walk this same
+// chain, so write placement and read failover can never diverge. When
+// routing and the resolver agree (the steady state) the chain is exactly
+// the R-member replica set; a routed address the resolver no longer
+// names (membership changed between the routing walk and the resolver
+// lookup) is kept as an extra leading entry rather than displacing a
+// legitimate owner. An empty routedAddr (route failure) falls back to
+// the placement ground truth alone; the result is empty only on an
+// empty overlay.
+func (e *Engine) replicaChain(routedAddr, canonical string) []string {
+	r := e.replicas()
+	if routedAddr != "" && r == 1 {
+		return []string{routedAddr}
+	}
+	chain := make([]string, 0, r+1)
+	if routedAddr != "" {
+		chain = append(chain, routedAddr)
+	}
+	for _, m := range replica.Owners(e.net, canonical, r) {
+		if addr := m.Addr(); addr != routedAddr {
+			chain = append(chain, addr)
+		}
+	}
+	return chain
 }
 
 // AddPeer registers a peer owning the given local collection on an
@@ -344,8 +404,9 @@ type SearchResult struct {
 	FetchedPosts uint64 // postings shipped for this query
 	ProbedKeys   int    // lattice subsets probed
 	FoundKeys    int    // subsets present in the index (HDK or NDK)
-	RPCs         int    // batched fetch RPCs issued (at most one per owner and level)
+	RPCs         int    // batched fetch RPCs issued (including failover re-sends)
 	Rounds       int    // lattice levels traversed
+	Failovers    int    // fetch batches re-sent to an alternate replica after an owner failed
 }
 
 // Search maps the query onto the lattice of its term subsets and probes
@@ -382,10 +443,13 @@ func (e *Engine) Search(q corpus.Query, from overlay.Member, k int) (*SearchResu
 			break
 		}
 		res.Rounds++
+		rpcsBefore := res.RPCs
 		outcomes, err := e.probeLevel(level, from, res)
 		if err != nil {
 			return nil, err
 		}
+		e.traffic.ProbesBySize[size].Add(uint64(len(outcomes)))
+		e.traffic.FetchRPCsBySize[size].Add(uint64(res.RPCs - rpcsBefore))
 		// Accumulate in candidate-enumeration order: float score addition
 		// is order-sensitive, so this keeps parallel fan-out bit-identical
 		// to a serial probe sequence.
@@ -409,6 +473,7 @@ func (e *Engine) Search(q corpus.Query, from overlay.Member, k int) (*SearchResu
 	e.traffic.ProbeMessages.Add(uint64(res.ProbedKeys))
 	e.traffic.FetchRPCs.Add(uint64(res.RPCs))
 	e.traffic.QueryRounds.Add(uint64(res.Rounds))
+	e.traffic.SearchFailovers.Add(uint64(res.Failovers))
 	res.Results = rank.TopKByScore(acc, k)
 	return res, nil
 }
@@ -447,11 +512,23 @@ type probeOutcome struct {
 	fromCache bool
 }
 
+// probeState tracks one pending key's failover position: the outcome
+// slot it fills and the replica addresses left to try, current first.
+type probeState struct {
+	idx    int
+	owners []string
+}
+
 // probeLevel resolves one lattice level: cache hits answer locally, the
 // remaining keys are routed to their owners in one parallel pass, grouped
 // per owner, and fetched with one batched RPC per owner — at most
-// SearchFanout in flight. Workers fill disjoint outcome slots; the slice
-// comes back in candidate order so accumulation stays deterministic.
+// SearchFanout in flight. A batch whose owner fails (unreachable after
+// transport retries, departed, or answering garbage) is re-sent to the
+// keys' next replica — successive waves walk each key's replica set until
+// a copy answers or every replica is exhausted; each re-sent batch counts
+// one Failover. Workers fill disjoint outcome slots; the slice comes back
+// in candidate order so accumulation stays deterministic regardless of
+// which replica answered.
 func (e *Engine) probeLevel(level []Key, from overlay.Member, res *SearchResult) ([]probeOutcome, error) {
 	outcomes := make([]probeOutcome, len(level))
 	var pending []int // outcome slots needing a network fetch
@@ -473,16 +550,26 @@ func (e *Engine) probeLevel(level []Key, from overlay.Member, res *SearchResult)
 	}
 	fanout := e.searchFanout()
 
-	// One routing pass: resolve every pending key's owner concurrently.
-	owners := make([]string, len(pending))
+	// One routing pass: resolve every pending key's primary owner
+	// concurrently, and its full replica set for failover. Routing
+	// errors are themselves failed over to the placement ground truth:
+	// the resolver knows the owners without a network walk.
+	states := make([]probeState, len(pending))
 	routeErrs := make([]error, len(pending))
+	r := e.replicas()
 	forEachLimit(len(pending), fanout, func(j int) {
-		owner, _, err := e.net.Route(from, outcomes[pending[j]].canonical)
-		if err != nil {
+		canonical := outcomes[pending[j]].canonical
+		routedAddr := ""
+		owner, _, err := e.net.Route(from, canonical)
+		if err == nil {
+			routedAddr = owner.Addr()
+		}
+		chain := e.replicaChain(routedAddr, canonical)
+		if len(chain) == 0 {
 			routeErrs[j] = err
 			return
 		}
-		owners[j] = owner.Addr()
+		states[j] = probeState{idx: pending[j], owners: chain}
 	})
 	for _, err := range routeErrs {
 		if err != nil {
@@ -490,29 +577,51 @@ func (e *Engine) probeLevel(level []Key, from overlay.Member, res *SearchResult)
 		}
 	}
 
-	// Group the pending keys per owner, preserving candidate order both
-	// across batches and inside each batch.
-	byOwner := make(map[string][]int, len(pending))
-	var addrs []string
-	for j, idx := range pending {
-		addr := owners[j]
-		if _, ok := byOwner[addr]; !ok {
-			addrs = append(addrs, addr)
+	// Fetch waves: wave 0 contacts every key's current owner; keys whose
+	// batch failed advance to their next replica and go into the next
+	// wave. At most len(chain) waves, so the walk always terminates.
+	for wave := 0; len(states) > 0; wave++ {
+		// Group per current owner, preserving candidate order both
+		// across batches and inside each batch.
+		byOwner := make(map[string][]probeState, len(states))
+		var addrs []string
+		for _, st := range states {
+			addr := st.owners[0]
+			if _, ok := byOwner[addr]; !ok {
+				addrs = append(addrs, addr)
+			}
+			byOwner[addr] = append(byOwner[addr], st)
 		}
-		byOwner[addr] = append(byOwner[addr], idx)
-	}
 
-	// One batched fetch RPC per owner.
-	fetchErrs := make([]error, len(addrs))
-	forEachLimit(len(addrs), fanout, func(j int) {
-		fetchErrs[j] = e.fetchOwnerBatch(addrs[j], byOwner[addrs[j]], outcomes)
-	})
-	for _, err := range fetchErrs {
-		if err != nil {
-			return nil, err
+		fetchErrs := make([]error, len(addrs))
+		forEachLimit(len(addrs), fanout, func(j int) {
+			batch := byOwner[addrs[j]]
+			idxs := make([]int, len(batch))
+			for i, st := range batch {
+				idxs[i] = st.idx
+			}
+			fetchErrs[j] = e.fetchOwnerBatch(addrs[j], idxs, outcomes)
+		})
+		res.RPCs += len(addrs)
+		if wave > 0 {
+			res.Failovers += len(addrs)
 		}
+
+		var retry []probeState
+		for j, addr := range addrs {
+			if fetchErrs[j] == nil {
+				continue
+			}
+			for _, st := range byOwner[addr] {
+				if len(st.owners) <= 1 {
+					return nil, fmt.Errorf("core: fetch %q: all %d replicas failed: %w",
+						outcomes[st.idx].canonical, r, fetchErrs[j])
+				}
+				retry = append(retry, probeState{idx: st.idx, owners: st.owners[1:]})
+			}
+		}
+		states = retry
 	}
-	res.RPCs += len(addrs)
 	return outcomes, nil
 }
 
@@ -647,16 +756,99 @@ func (e *Engine) Stats() IndexStats {
 	return st
 }
 
-// KeyInfo exposes one key's global classification for tests and tools.
+// KeyInfo exposes one key's global classification for tests and tools,
+// consulting the key's replica set in failover order.
 func (e *Engine) KeyInfo(k Key) (KeyStatus, int, postings.List) {
 	canonical := k.CanonicalString(e.vocab)
-	owner, ok := e.net.OwnerOf(canonical)
-	if !ok {
-		return StatusAbsent, 0, nil
+	for _, owner := range replica.Owners(e.net, canonical, e.replicas()) {
+		store, ok := e.stores[owner.ID()]
+		if !ok {
+			continue
+		}
+		if status, df, list := store.fetch(canonical); status != StatusAbsent {
+			return status, df, list
+		}
 	}
-	store, ok := e.stores[owner.ID()]
-	if !ok {
-		return StatusAbsent, 0, nil
+	return StatusAbsent, 0, nil
+}
+
+// engineInventory adapts the engine's per-node stores to the repair
+// sweep's view of the replicated index.
+type engineInventory struct{ e *Engine }
+
+func (v engineInventory) store(m overlay.Member) *hdkStore { return v.e.stores[m.ID()] }
+
+func (v engineInventory) Keys(m overlay.Member) []string {
+	if st := v.store(m); st != nil {
+		return st.keyList()
 	}
-	return store.fetch(canonical)
+	return nil
+}
+
+func (v engineInventory) Fingerprint(m overlay.Member, key string) (int, bool) {
+	st := v.store(m)
+	if st == nil {
+		return 0, false
+	}
+	return st.entryDF(key)
+}
+
+func (v engineInventory) Export(m overlay.Member, key string) ([]byte, bool) {
+	if st := v.store(m); st != nil {
+		return st.exportEntry(key)
+	}
+	return nil, false
+}
+
+// Repairer returns a replica.Repairer configured for this engine's
+// fabric, stores and replication factor.
+func (e *Engine) Repairer() *replica.Repairer {
+	return &replica.Repairer{Fabric: e.net, Inv: engineInventory{e}, R: e.replicas()}
+}
+
+// RepairReplicas sweeps the surviving stores for under-replicated keys
+// and re-replicates them over the fabric, restoring R-way coverage after
+// churn without re-running the distributed build.
+func (e *Engine) RepairReplicas() (replica.RepairStats, error) {
+	st, err := e.Repairer().Repair()
+	if err == nil {
+		e.InvalidateQueryCache()
+	}
+	return st, err
+}
+
+// AuditReplicas reports the index's replica coverage under the current
+// membership — the store-sweep verification that repair restored R-way
+// placement.
+func (e *Engine) AuditReplicas() replica.AuditStats {
+	return replica.Audit(e.net, engineInventory{e}, e.replicas())
+}
+
+// FailNode simulates an ungraceful peer departure (crash): the node
+// leaves the ring and its index fraction is LOST — unlike the graceful
+// RemoveNode handoff, nothing is copied anywhere. Peers hosted on the
+// node drop out of the build set. With ReplicationFactor >= 2 the
+// surviving replicas keep every key reachable; RepairReplicas restores
+// full coverage afterwards.
+func (e *Engine) FailNode(node overlay.Member) error {
+	churn, ok := e.net.(overlay.Churn)
+	if !ok {
+		return fmt.Errorf("core: fabric does not support node removal")
+	}
+	if e.net.Size() <= 1 {
+		return fmt.Errorf("core: cannot fail the last node")
+	}
+	if !churn.RemoveNode(node.ID()) {
+		return fmt.Errorf("core: node %x not in overlay", node.ID())
+	}
+	delete(e.stores, node.ID())
+	kept := e.peers[:0]
+	for _, p := range e.peers {
+		if p.node.ID() != node.ID() {
+			kept = append(kept, p)
+		}
+	}
+	e.peers = kept
+	e.InvalidateQueryCache()
+	return nil
 }

@@ -426,8 +426,11 @@ func (p *Peer) subkeyState(cand Key, ndPrev, freshPrev map[Key]bool) (allND, any
 // insertAll routes each candidate key to its DHT owner, groups the
 // candidates per owner, and ships one insert RPC per owner carrying every
 // (key, posting list) pair that owner is responsible for — the insert-side
-// mirror of the batched query fan-out. It returns the number of postings
-// shipped.
+// mirror of the batched query fan-out. Under ReplicationFactor R > 1 each
+// key's batch entry additionally fans out to the key's R-1 further
+// replicas, so a replicated build costs R× the insert postings but no
+// extra rounds (replica inserts ride the same one-RPC-per-owner batching).
+// It returns the number of postings shipped, counting every replica copy.
 func (p *Peer) insertAll(cands map[Key]*candAcc, size int) (uint64, error) {
 	keys := make([]Key, 0, len(cands))
 	for k := range cands {
@@ -448,12 +451,13 @@ func (p *Peer) insertAll(cands map[Key]*candAcc, size int) (uint64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("core: route key %q: %w", k.DisplayString(vocab), err)
 		}
-		addr := owner.Addr()
-		if _, ok := byOwner[addr]; !ok {
-			addrs = append(addrs, addr)
+		for _, addr := range p.eng.replicaChain(owner.Addr(), canonical) {
+			if _, ok := byOwner[addr]; !ok {
+				addrs = append(addrs, addr)
+			}
+			byOwner[addr] = append(byOwner[addr], postings.KeyedMessage{Key: canonical, Aux: uint64(size), List: list})
+			inserted += uint64(len(list))
 		}
-		byOwner[addr] = append(byOwner[addr], postings.KeyedMessage{Key: canonical, Aux: uint64(size), List: list})
-		inserted += uint64(len(list))
 	}
 	for _, addr := range addrs {
 		req := encodeInsertReq(nil, p.node.Addr(), byOwner[addr])

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/postings"
+	"repro/internal/replica"
 )
 
 // Index snapshot format: a magic header, a version byte, a uvarint entry
@@ -40,17 +41,31 @@ func (e *Engine) ExportIndex(w io.Writer) error {
 	}
 	type rec struct {
 		key string
+		df  int
 		m   postings.KeyedMessage
 	}
 	var recs []rec
+	seen := make(map[string]int) // key -> index into recs
 	for _, store := range e.stores {
 		store.mu.Lock()
 		for key, ent := range store.entries {
+			// Replicated keys appear in R stores; snapshot the freshest
+			// copy (highest df — the same fingerprint the repair sweep
+			// uses), so a divergent partial replica that has not been
+			// repaired yet can never leak into the snapshot.
 			if !ent.classified {
 				continue
 			}
 			aux := (uint64(ent.df)<<3|uint64(ent.size))<<2 | uint64(ent.status)
-			recs = append(recs, rec{key: key, m: postings.KeyedMessage{Key: key, Aux: aux, List: ent.list}})
+			r := rec{key: key, df: ent.df, m: postings.KeyedMessage{Key: key, Aux: aux, List: ent.list}}
+			if i, ok := seen[key]; ok {
+				if ent.df > recs[i].df {
+					recs[i] = r
+				}
+				continue
+			}
+			seen[key] = len(recs)
+			recs = append(recs, r)
 		}
 		store.mu.Unlock()
 	}
@@ -111,24 +126,26 @@ func (e *Engine) ImportIndex(r io.Reader) error {
 			return fmt.Errorf("%w: record %d has key size %d", ErrBadSnapshot, i, size)
 		}
 		df := int(m.Aux >> 5)
-		owner, ok := e.net.OwnerOf(m.Key)
-		if !ok {
+		owners := replica.Owners(e.net, m.Key, e.replicas())
+		if len(owners) == 0 {
 			return errors.New("core: import into empty overlay")
 		}
-		store, okStore := e.stores[owner.ID()]
-		if !okStore {
-			return fmt.Errorf("core: owner of %q has no store", m.Key)
+		for _, owner := range owners {
+			store, okStore := e.stores[owner.ID()]
+			if !okStore {
+				return fmt.Errorf("core: owner of %q has no store", m.Key)
+			}
+			store.mu.Lock()
+			store.entries[m.Key] = &entry{
+				size:         size,
+				list:         append(postings.List(nil), m.List...),
+				df:           df,
+				classified:   true,
+				status:       status,
+				contributors: make(map[string]struct{}),
+			}
+			store.mu.Unlock()
 		}
-		store.mu.Lock()
-		store.entries[m.Key] = &entry{
-			size:         size,
-			list:         m.List,
-			df:           df,
-			classified:   true,
-			status:       status,
-			contributors: make(map[string]struct{}),
-		}
-		store.mu.Unlock()
 	}
 	if off != len(rest) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(rest)-off)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/overlay"
+	"repro/internal/replica"
 )
 
 // This file implements index maintenance under overlay membership
@@ -12,12 +13,57 @@ import (
 // peers; a real deployment additionally needs the global index to follow
 // the key→owner mapping as nodes join and leave. Rebalance moves
 // misplaced entries to their current owners; RemoveNode performs a
-// graceful leave with handoff.
+// graceful leave with handoff. Both are replica-aware: an entry is
+// correctly placed on ANY member of its key's replica set, and handoff
+// targets every responsible member that lacks a copy (entries are
+// shipped through the repair snapshot codec, so each destination gets an
+// independent deep copy).
 
-// Rebalance scans every store and moves entries whose responsible node
-// changed (after joins) to the current owner. It returns the number of
-// entries moved. Ongoing queries remain correct throughout: entries are
-// inserted at the destination before being deleted at the source.
+// placeEntry installs a store's entry snapshot on every given replica-set
+// member that lacks it (or holds a staler, lower-df copy), returning how
+// many copies landed.
+func (e *Engine) placeEntry(src *hdkStore, key string, owners []overlay.Member) (int, error) {
+	blob, ok := src.exportEntry(key)
+	if !ok {
+		return 0, fmt.Errorf("core: entry %q vanished during placement", key)
+	}
+	placed := 0
+	for _, owner := range owners {
+		dst, ok := e.stores[owner.ID()]
+		if !ok {
+			return placed, fmt.Errorf("core: owner of %q has no store", key)
+		}
+		if dst == src {
+			continue
+		}
+		installed, err := dst.importEntry(key, blob)
+		if err != nil {
+			return placed, err
+		}
+		if installed {
+			placed++
+		}
+	}
+	return placed, nil
+}
+
+// inReplicaSet reports whether the node is among the given owners.
+func inReplicaSet(id overlay.ID, owners []overlay.Member) bool {
+	for _, owner := range owners {
+		if owner.ID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Rebalance scans every store and moves entries whose node is no longer
+// in the key's replica set (after joins) to the responsible members that
+// lack them. It returns the number of entries moved. Ongoing queries
+// remain correct throughout: entries are inserted at the destinations
+// before being deleted at the source. Replicas residing on members that
+// are still responsible are left in place; restoring copies that are
+// missing elsewhere is RepairReplicas' job.
 func (e *Engine) Rebalance() (int, error) {
 	moved := 0
 	// Deterministic iteration over stores.
@@ -28,34 +74,17 @@ func (e *Engine) Rebalance() (int, error) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		store := e.stores[id]
-		store.mu.Lock()
-		var misplaced []string
-		for key := range store.entries {
-			owner, okOwner := e.net.OwnerOf(key)
-			if !okOwner {
-				store.mu.Unlock()
+		for _, key := range store.keyList() {
+			owners := replica.Owners(e.net, key, e.replicas())
+			if len(owners) == 0 {
 				return moved, fmt.Errorf("core: empty overlay during rebalance")
 			}
-			if owner.ID() != id {
-				misplaced = append(misplaced, key)
+			if inReplicaSet(id, owners) {
+				continue
 			}
-		}
-		sort.Strings(misplaced)
-		entries := make([]*entry, len(misplaced))
-		for i, key := range misplaced {
-			entries[i] = store.entries[key]
-		}
-		store.mu.Unlock()
-
-		for i, key := range misplaced {
-			owner, _ := e.net.OwnerOf(key)
-			dst, ok := e.stores[owner.ID()]
-			if !ok {
-				return moved, fmt.Errorf("core: owner of %q has no store", key)
+			if _, err := e.placeEntry(store, key, owners); err != nil {
+				return moved, err
 			}
-			dst.mu.Lock()
-			dst.entries[key] = entries[i]
-			dst.mu.Unlock()
 			store.mu.Lock()
 			delete(store.entries, key)
 			store.mu.Unlock()
@@ -67,11 +96,12 @@ func (e *Engine) Rebalance() (int, error) {
 }
 
 // RemoveNode gracefully removes an overlay node from the engine: its
-// index fraction is handed off to the nodes that become responsible, and
-// the node leaves the ring. Documents contributed by a peer hosted on
-// the node remain indexed (the paper's model keeps document references
-// in the global index; peer departure with document loss is a different
-// failure mode the model does not cover).
+// index fraction is handed off to the members that become responsible
+// (every replica-set member lacking a copy), and the node leaves the
+// ring. Documents contributed by a peer hosted on the node remain
+// indexed (the paper's model keeps document references in the global
+// index; peer departure WITH document loss is the crash scenario
+// FailNode simulates).
 func (e *Engine) RemoveNode(node overlay.Member) error {
 	store, ok := e.stores[node.ID()]
 	if !ok {
@@ -89,27 +119,14 @@ func (e *Engine) RemoveNode(node overlay.Member) error {
 		return fmt.Errorf("core: cannot remove the last node")
 	}
 	// ...then hand its entries to the new owners.
-	store.mu.Lock()
-	keys := make([]string, 0, len(store.entries))
-	for key := range store.entries {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	entries := make(map[string]*entry, len(keys))
-	for _, key := range keys {
-		entries[key] = store.entries[key]
-	}
-	store.mu.Unlock()
-
-	for _, key := range keys {
-		owner, _ := e.net.OwnerOf(key)
-		dst, ok := e.stores[owner.ID()]
-		if !ok {
-			return fmt.Errorf("core: owner of %q has no store after leave", key)
+	for _, key := range store.keyList() {
+		owners := replica.Owners(e.net, key, e.replicas())
+		if len(owners) == 0 {
+			return fmt.Errorf("core: cannot remove the last node")
 		}
-		dst.mu.Lock()
-		dst.entries[key] = entries[key]
-		dst.mu.Unlock()
+		if _, err := e.placeEntry(store, key, owners); err != nil {
+			return err
+		}
 	}
 	delete(e.stores, node.ID())
 	// Drop departed peers hosted on this node from the build set.

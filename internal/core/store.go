@@ -178,6 +178,124 @@ func (s *hdkStore) fetchBatch(keys []string) []fetchResult {
 	return out
 }
 
+// keyList returns the store's resident keys in sorted order (the
+// replica repair inventory).
+func (s *hdkStore) keyList() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for key := range s.entries {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// entryDF reports whether the store holds the key and the copy's global
+// df — the monotone freshness fingerprint the repair sweep compares
+// across replicas.
+func (s *hdkStore) entryDF(key string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.df, true
+}
+
+// exportEntry snapshots one entry for replica repair: uvarint size, df,
+// a classified/status byte, the contributor set and the posting list.
+// The snapshot carries everything a replica needs to serve fetches AND
+// to keep participating in maintenance (classification sweeps, NDK
+// notifications) for the key.
+func (s *hdkStore) exportEntry(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	buf := binary.AppendUvarint(nil, uint64(e.size))
+	buf = binary.AppendUvarint(buf, uint64(e.df))
+	flags := byte(e.status)
+	if e.classified {
+		flags |= 1 << 2
+	}
+	buf = append(buf, flags)
+	addrs := make([]string, 0, len(e.contributors))
+	for a := range e.contributors {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	buf = binary.AppendUvarint(buf, uint64(len(addrs)))
+	for _, a := range addrs {
+		buf = binary.AppendUvarint(buf, uint64(len(a)))
+		buf = append(buf, a...)
+	}
+	return postings.Encode(buf, e.list), true
+}
+
+// importEntry installs a repair snapshot, reporting whether it landed.
+// An existing copy is replaced only when the incoming one has a strictly
+// higher df: replicas that saw the same inserts are byte-identical, so
+// equal-df copies are a no-op, while a divergent partial copy (a replica
+// promoted into the set by churn that then received only post-churn
+// inserts) is overwritten by the fuller one.
+func (s *hdkStore) importEntry(key string, blob []byte) (bool, error) {
+	size, off := binary.Uvarint(blob)
+	if off <= 0 {
+		return false, errCorruptRPC
+	}
+	df, sz := binary.Uvarint(blob[off:])
+	if sz <= 0 || len(blob) <= off+sz {
+		return false, errCorruptRPC
+	}
+	off += sz
+	flags := blob[off]
+	off++
+	status := KeyStatus(flags & 3)
+	if status > StatusNDK || size < 1 || size > MaxKeySize {
+		return false, errCorruptRPC
+	}
+	nc, sz := binary.Uvarint(blob[off:])
+	if sz <= 0 || nc > uint64(len(blob)) {
+		return false, errCorruptRPC
+	}
+	off += sz
+	contributors := make(map[string]struct{}, nc)
+	for i := uint64(0); i < nc; i++ {
+		al, sz := binary.Uvarint(blob[off:])
+		if sz <= 0 || uint64(len(blob)-off-sz) < al {
+			return false, errCorruptRPC
+		}
+		off += sz
+		contributors[string(blob[off:off+int(al)])] = struct{}{}
+		off += int(al)
+	}
+	list, consumed, err := postings.Decode(blob[off:])
+	if err != nil {
+		return false, err
+	}
+	if off+consumed != len(blob) {
+		return false, errCorruptRPC
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, exists := s.entries[key]; exists && cur.df >= int(df) {
+		return false, nil
+	}
+	s.entries[key] = &entry{
+		size:         int(size),
+		list:         list,
+		df:           int(df),
+		classified:   flags&(1<<2) != 0,
+		status:       status,
+		contributors: contributors,
+	}
+	return true, nil
+}
+
 // storedBySize returns resident posting counts and key counts per key
 // size (Figures 3 and 5 inputs).
 func (s *hdkStore) storedBySize(maxSize int) (posts, keys []int) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -17,16 +18,22 @@ import (
 // HDKStep is one (network size, DFmax) measurement.
 type HDKStep struct {
 	DFMax             int
+	Replicas          int // effective replication factor (1 = single copy)
 	StoredPerPeer     float64
 	InsertedPerPeer   float64
 	InsertedBySize    [core.MaxKeySize + 1]uint64
 	KeysBySize        [core.MaxKeySize + 1]int
 	KeysTotal         int
-	QueryPostingsAvg  float64 // Figure 6
-	QueryProbesAvg    float64 // lattice keys probed per query
-	QueryRPCsAvg      float64 // batched fetch RPCs per query (<= probes)
-	OverlapAvgPercent float64 // Figure 7
+	QueryPostingsAvg  float64                      // Figure 6
+	QueryProbesAvg    float64                      // lattice keys probed per query
+	QueryRPCsAvg      float64                      // batched fetch RPCs per query (<= probes)
+	QueryProbesBySize [core.MaxKeySize + 1]float64 // per-level probes per query
+	QueryRPCsBySize   [core.MaxKeySize + 1]float64 // per-level batched RPCs per query
+	QueryFailoversAvg float64                      // replica failovers per query
+	OverlapAvgPercent float64                      // Figure 7
 	NotifyMessages    uint64
+	BuildNanos        int64   // wall-clock build time
+	QueryNanosAvg     float64 // wall-clock ns per query
 }
 
 // Step is one experimental run (one network size) with all engines
@@ -144,7 +151,7 @@ func runStep(scale Scale, full *corpus.Collection, peers int, progress Progress)
 
 	// HDK engines, one per DFmax.
 	for _, dfmax := range scale.DFMaxes {
-		h, err := runHDK(scale, col, peers, dfmax, stats, queries, reference)
+		h, err := runHDK(scale, col, peers, dfmax, queries, reference)
 		if err != nil {
 			return nil, err
 		}
@@ -177,12 +184,18 @@ func buildOverlay(scale Scale, peers int) (overlay.Fabric, []overlay.Member, err
 	return net, net.Members(), nil
 }
 
-func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
-	stats rank.CollectionStats, queries []corpus.Query, reference [][]rank.Result) (*HDKStep, error) {
+// buildScaledEngine assembles the HDK engine for one measurement: the
+// scale's overlay substrate, its Config mapping (with the replication
+// factor override when replicas > 0), the round-robin document split,
+// and all-cores build concurrency (the final index is provably identical
+// to a serial build — merges commute; tested in core). BuildIndex is
+// left to the caller, which times it.
+func buildScaledEngine(scale Scale, col *corpus.Collection, peers, dfmax, replicas int) (*core.Engine, []overlay.Member, error) {
 	net, nodes, err := buildOverlay(scale, peers)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	stats := rank.CollectionStats{NumDocs: col.M(), AvgDocLen: col.AvgDocLen()}
 	cfg := core.DefaultConfig(stats)
 	cfg.DFMax = dfmax
 	cfg.SMax = scale.SMax
@@ -191,19 +204,29 @@ func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
 	if scale.SearchFanout > 0 {
 		cfg.SearchFanout = scale.SearchFanout
 	}
+	if replicas > 0 {
+		cfg.ReplicationFactor = replicas
+	}
 	eng, err := core.NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i, part := range col.SplitRoundRobin(peers) {
 		if _, err := eng.AddPeer(nodes[i], part); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	// Parallel peer indexing: the final index is provably identical to a
-	// serial build (merges commute; tested in core), so the harness uses
-	// all cores.
 	eng.SetConcurrency(runtime.NumCPU())
+	return eng, nodes, nil
+}
+
+func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
+	queries []corpus.Query, reference [][]rank.Result) (*HDKStep, error) {
+	eng, nodes, err := buildScaledEngine(scale, col, peers, dfmax, scale.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
 	if err := eng.BuildIndex(); err != nil {
 		return nil, err
 	}
@@ -211,17 +234,20 @@ func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
 	traffic := eng.Traffic().Snapshot()
 	h := &HDKStep{
 		DFMax:           dfmax,
+		Replicas:        eng.Config().ReplicationFactor,
 		StoredPerPeer:   float64(istats.StoredTotal) / float64(peers),
 		InsertedPerPeer: float64(traffic.InsertedTotal) / float64(peers),
 		KeysTotal:       istats.KeysTotal,
 		NotifyMessages:  traffic.NotifyMessages,
+		BuildNanos:      time.Since(buildStart).Nanoseconds(),
 	}
 	h.InsertedBySize = traffic.InsertedBySize
 	h.KeysBySize = istats.KeysBySize
 
 	var fetched uint64
-	var probes, rpcs int
+	var probes, rpcs, failovers int
 	var overlap float64
+	queryStart := time.Now()
 	for i, q := range queries {
 		res, err := eng.Search(q, nodes[i%peers], 20)
 		if err != nil {
@@ -230,13 +256,23 @@ func runHDK(scale Scale, col *corpus.Collection, peers, dfmax int,
 		fetched += res.FetchedPosts
 		probes += res.ProbedKeys
 		rpcs += res.RPCs
+		failovers += res.Failovers
 		overlap += rank.Overlap(reference[i], res.Results, 20)
 	}
+	queryNanos := time.Since(queryStart).Nanoseconds()
 	if len(queries) > 0 {
-		h.QueryPostingsAvg = float64(fetched) / float64(len(queries))
-		h.QueryProbesAvg = float64(probes) / float64(len(queries))
-		h.QueryRPCsAvg = float64(rpcs) / float64(len(queries))
-		h.OverlapAvgPercent = overlap / float64(len(queries))
+		n := float64(len(queries))
+		h.QueryPostingsAvg = float64(fetched) / n
+		h.QueryProbesAvg = float64(probes) / n
+		h.QueryRPCsAvg = float64(rpcs) / n
+		h.QueryFailoversAvg = float64(failovers) / n
+		h.OverlapAvgPercent = overlap / n
+		h.QueryNanosAvg = float64(queryNanos) / n
+		after := eng.Traffic().Snapshot()
+		for s := 0; s <= core.MaxKeySize; s++ {
+			h.QueryProbesBySize[s] = float64(after.ProbesBySize[s]-traffic.ProbesBySize[s]) / n
+			h.QueryRPCsBySize[s] = float64(after.FetchRPCsBySize[s]-traffic.FetchRPCsBySize[s]) / n
+		}
 	}
 	return h, nil
 }

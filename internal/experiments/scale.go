@@ -34,7 +34,10 @@ type Scale struct {
 	// SearchFanout bounds concurrent per-owner fetch RPCs per lattice
 	// level during retrieval; 0 keeps the engine default.
 	SearchFanout int
-	Seed         int64
+	// Replicas is the R-way key replication factor for the HDK engines
+	// (internal/replica); 0 keeps the engine default (single copy).
+	Replicas int
+	Seed     int64
 }
 
 // MaxDocs returns the largest collection size the scale reaches.
@@ -71,6 +74,9 @@ func (s Scale) Validate() error {
 	}
 	if s.SearchFanout < 0 {
 		return fmt.Errorf("experiments: negative search fanout %d", s.SearchFanout)
+	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("experiments: negative replication factor %d", s.Replicas)
 	}
 	switch s.Fabric {
 	case "", "chord", "pgrid":

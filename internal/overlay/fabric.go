@@ -39,6 +39,17 @@ type Churn interface {
 	RemoveNode(ID) bool
 }
 
+// MultiOwner is optionally implemented by fabrics that can name the R
+// distinct members jointly responsible for a key — the placement ground
+// truth behind replicated index storage. The primary owner (the member
+// OwnerOf returns) comes first; the remaining members are the fabric's
+// natural failover order (ring successors on Chord, path-order neighbors
+// on the P-Grid trie), so losing the primary promotes the next entry.
+// Fewer than r members are returned when the overlay is smaller than r.
+type MultiOwner interface {
+	OwnersOf(key string, r int) []Member
+}
+
 // Members implements Fabric.
 func (n *Network) Members() []Member {
 	nodes := n.Nodes()
@@ -76,7 +87,8 @@ func (n *Network) Route(from Member, key string) (Member, int, error) {
 
 // Compile-time checks.
 var (
-	_ Fabric = (*Network)(nil)
-	_ Member = (*Node)(nil)
-	_ Churn  = (*Network)(nil)
+	_ Fabric     = (*Network)(nil)
+	_ Member     = (*Node)(nil)
+	_ Churn      = (*Network)(nil)
+	_ MultiOwner = (*Network)(nil)
 )

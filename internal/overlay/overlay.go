@@ -207,6 +207,30 @@ func (n *Network) Owner(key string) *Node {
 	return n.nodes[n.successorLocked(HashKey(key))]
 }
 
+// OwnersOf implements MultiOwner: the replica set of a key is its
+// successor list — the first r distinct nodes at or after the key's ring
+// position, primary first (the classical Chord replication scheme). The
+// scheme is churn-stable: when the primary leaves, the key's new
+// successor is exactly the old second replica, so routing lands on a
+// node that already holds the replicated data.
+func (n *Network) OwnersOf(key string, r int) []Member {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if len(n.sorted) == 0 || r < 1 {
+		return nil
+	}
+	if r > len(n.sorted) {
+		r = len(n.sorted)
+	}
+	h := HashKey(key)
+	start := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] >= h })
+	out := make([]Member, 0, r)
+	for k := 0; k < r; k++ {
+		out = append(out, n.nodes[n.sorted[(start+k)%len(n.sorted)]])
+	}
+	return out
+}
+
 // Lookup routes from the given start node to the owner of key using
 // iterative closest-preceding-finger routing and returns the owner along
 // with the number of routing hops taken. Each hop is one transport

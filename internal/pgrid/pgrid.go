@@ -262,6 +262,34 @@ func (n *Network) OwnerOf(key string) (overlay.Member, bool) {
 	return nil, false
 }
 
+// OwnersOf implements overlay.MultiOwner: the replica set of a key is
+// the owning peer followed by the next peers in trie path order (with
+// wrap-around) — the neighbors whose paths are closest to the key's
+// subtree, P-Grid's structural-replica analogue of a successor list.
+func (n *Network) OwnersOf(key string, r int) []overlay.Member {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if len(n.peers) == 0 || r < 1 {
+		return nil
+	}
+	if r > len(n.peers) {
+		r = len(n.peers)
+	}
+	kb := keyBits(key)
+	start := 0
+	for i, p := range n.peers {
+		if strings.HasPrefix(kb, p.path) {
+			start = i
+			break
+		}
+	}
+	out := make([]overlay.Member, 0, r)
+	for k := 0; k < r; k++ {
+		out = append(out, n.peers[(start+k)%len(n.peers)])
+	}
+	return out
+}
+
 // Route implements overlay.Fabric: iterative prefix-resolution routing.
 // Every hop extends the agreed prefix by at least one bit, so hops are
 // bounded by the trie depth ⌈log2 N⌉.
@@ -326,7 +354,8 @@ func (n *Network) peerByAddr(addr string) (*Peer, bool) {
 
 // Compile-time interface checks.
 var (
-	_ overlay.Fabric = (*Network)(nil)
-	_ overlay.Member = (*Peer)(nil)
-	_ overlay.Churn  = (*Network)(nil)
+	_ overlay.Fabric     = (*Network)(nil)
+	_ overlay.Member     = (*Peer)(nil)
+	_ overlay.Churn      = (*Network)(nil)
+	_ overlay.MultiOwner = (*Network)(nil)
 )

@@ -1,0 +1,154 @@
+package replica
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/overlay"
+)
+
+// Inventory is the Repairer's view of the replicated index: which keys
+// are resident on which member, a freshness fingerprint per copy, and an
+// opaque exportable snapshot per (member, key). The index layer (e.g.
+// the HDK engine) implements it over its per-node stores; the member
+// hosting the Service handler imports the snapshots the Repairer ships.
+type Inventory interface {
+	// Keys returns the resident keys of a member's store in a
+	// deterministic order (nil for members without a store).
+	Keys(m overlay.Member) []string
+	// Fingerprint reports whether the member holds the key and, if so, a
+	// monotone version of its copy (the HDK engine uses the global df:
+	// replicas that saw the same inserts agree on it, and a replica that
+	// missed inserts — e.g. one promoted into the set by churn and then
+	// fed only post-churn postings — reports a smaller value). The sweep
+	// treats a copy with a lower fingerprint than the best resident one
+	// as missing, so divergent partial replicas are healed, not trusted.
+	Fingerprint(m overlay.Member, key string) (version int, ok bool)
+	// Export snapshots one resident entry for shipping to a replica.
+	Export(m overlay.Member, key string) ([]byte, bool)
+}
+
+// RepairStats summarizes one repair sweep.
+type RepairStats struct {
+	KeysSwept       int // distinct keys seen across live stores
+	UnderReplicated int // keys found on fewer members than their replica set requires
+	CopiesSent      int // (key, replica) snapshots shipped
+	RepairRPCs      int // batched repair calls issued (one per destination member)
+}
+
+// AuditStats summarizes a read-only coverage sweep.
+type AuditStats struct {
+	Keys            int // distinct keys seen across live stores
+	UnderReplicated int // keys missing from at least one responsible member
+	MissingCopies   int // total (key, member) placements missing
+}
+
+// FullyReplicated reports whether every surveyed key has a copy on every
+// member of its replica set.
+func (a AuditStats) FullyReplicated() bool { return a.UnderReplicated == 0 }
+
+// Repairer restores R-way key coverage after churn: it sweeps the
+// surviving members' stores, computes each key's current replica set on
+// the (post-churn) fabric, and ships entry snapshots to responsible
+// members that lack them — one batched repair RPC per destination, no
+// re-indexing. Keys whose every replica departed are unrecoverable by
+// sweep (nothing holds them anymore) and are invisible to it; they need
+// a rebuild from the document owners.
+type Repairer struct {
+	Fabric overlay.Fabric
+	Inv    Inventory
+	R      int // replication factor to restore
+}
+
+// deficit is one under-replicated key found by the sweep: the freshest
+// holder to export from and the replica-set members whose copy is
+// missing or stale.
+type deficit struct {
+	key    string
+	holder overlay.Member
+	to     []overlay.Member
+}
+
+// sweep is shared by Repair and Audit: for every distinct key resident
+// on a live member, find the freshest copy (highest fingerprint among
+// the member it was discovered on and the replica set) and the replica
+// set members that lack it or hold a stale one.
+func sweep(f overlay.Fabric, inv Inventory, r int) (deficits []deficit, keys int) {
+	seen := make(map[string]bool)
+	for _, m := range f.Members() {
+		for _, key := range inv.Keys(m) {
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			keys++
+			owners := Owners(f, key, r)
+			best, bestVersion := m, -1
+			if v, ok := inv.Fingerprint(m, key); ok {
+				bestVersion = v
+			}
+			for _, owner := range owners {
+				if v, ok := inv.Fingerprint(owner, key); ok && v > bestVersion {
+					best, bestVersion = owner, v
+				}
+			}
+			var missing []overlay.Member
+			for _, owner := range owners {
+				if v, ok := inv.Fingerprint(owner, key); !ok || v < bestVersion {
+					missing = append(missing, owner)
+				}
+			}
+			if len(missing) > 0 {
+				deficits = append(deficits, deficit{key: key, holder: best, to: missing})
+			}
+		}
+	}
+	return deficits, keys
+}
+
+// Audit performs a read-only store sweep, reporting replica coverage
+// under the fabric's current membership and placement.
+func Audit(f overlay.Fabric, inv Inventory, r int) AuditStats {
+	deficits, keys := sweep(f, inv, r)
+	st := AuditStats{Keys: keys, UnderReplicated: len(deficits)}
+	for _, d := range deficits {
+		st.MissingCopies += len(d.to)
+	}
+	return st
+}
+
+// Repair sweeps the inventory and re-replicates every under-replicated
+// key, batching the snapshots per destination member and shipping each
+// batch with one Service RPC over the fabric.
+func (rp *Repairer) Repair() (RepairStats, error) {
+	r := rp.R
+	if r < 1 {
+		r = 1
+	}
+	deficits, keys := sweep(rp.Fabric, rp.Inv, r)
+	st := RepairStats{KeysSwept: keys, UnderReplicated: len(deficits)}
+	batches := make(map[string][]Item)
+	var addrs []string
+	for _, d := range deficits {
+		blob, ok := rp.Inv.Export(d.holder, d.key)
+		if !ok {
+			return st, fmt.Errorf("replica: holder %s lost %q mid-repair", d.holder.Addr(), d.key)
+		}
+		for _, owner := range d.to {
+			addr := owner.Addr()
+			if _, seen := batches[addr]; !seen {
+				addrs = append(addrs, addr)
+			}
+			batches[addr] = append(batches[addr], Item{Key: d.key, Blob: blob})
+			st.CopiesSent++
+		}
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		if _, err := rp.Fabric.CallService(addr, Service, EncodeBatch(nil, batches[addr])); err != nil {
+			return st, fmt.Errorf("replica: repair batch to %s: %w", addr, err)
+		}
+		st.RepairRPCs++
+	}
+	return st, nil
+}

@@ -1,0 +1,154 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/overlay"
+	"repro/internal/pgrid"
+	"repro/internal/transport"
+)
+
+func chordNet(t *testing.T, n int) *overlay.Network {
+	t.Helper()
+	net := overlay.NewNetwork(transport.NewInProc())
+	for i := 0; i < n; i++ {
+		if _, err := net.AddNode(fmt.Sprintf("peer-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func pgridNet(t *testing.T, n int) *pgrid.Network {
+	t.Helper()
+	net := pgrid.NewNetwork(transport.NewInProc())
+	for i := 0; i < n; i++ {
+		if _, err := net.AddPeer(fmt.Sprintf("peer-%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+// assertOwnerSets checks the resolver contract on any fabric: primary
+// first, all distinct, capped at the overlay size.
+func assertOwnerSets(t *testing.T, f overlay.Fabric, size int) {
+	t.Helper()
+	for _, key := range []string{"alpha", "beta", "gamma|delta", "x", "longer key with spaces"} {
+		primary, ok := f.OwnerOf(key)
+		if !ok {
+			t.Fatalf("no owner for %q", key)
+		}
+		for r := 1; r <= size+2; r++ {
+			owners := Owners(f, key, r)
+			want := r
+			if want > size {
+				want = size
+			}
+			if len(owners) != want {
+				t.Fatalf("key %q r=%d: got %d owners, want %d", key, r, len(owners), want)
+			}
+			if owners[0].ID() != primary.ID() {
+				t.Fatalf("key %q r=%d: first owner %x is not the primary %x",
+					key, r, owners[0].ID(), primary.ID())
+			}
+			seen := make(map[overlay.ID]bool)
+			for _, m := range owners {
+				if seen[m.ID()] {
+					t.Fatalf("key %q r=%d: duplicate owner %x", key, r, m.ID())
+				}
+				seen[m.ID()] = true
+			}
+		}
+	}
+}
+
+func TestOwnersChord(t *testing.T) { assertOwnerSets(t, chordNet(t, 7), 7) }
+
+func TestOwnersPGrid(t *testing.T) { assertOwnerSets(t, pgridNet(t, 7), 7) }
+
+func TestOwnersSingleNode(t *testing.T) {
+	net := chordNet(t, 1)
+	owners := Owners(net, "solo", 3)
+	if len(owners) != 1 {
+		t.Fatalf("1-node overlay returned %d owners", len(owners))
+	}
+}
+
+// genericFabric hides the MultiOwner implementation, forcing the
+// membership-order fallback path.
+type genericFabric struct{ overlay.Fabric }
+
+func TestOwnersFallbackMatchesChord(t *testing.T) {
+	// The fallback walks Members() order from the primary; on a Chord
+	// ring Members() IS ring order, so both paths must agree exactly.
+	net := chordNet(t, 9)
+	for _, key := range []string{"a", "b", "c", "d", "e"} {
+		direct := Owners(net, key, 3)
+		fallback := Owners(genericFabric{net}, key, 3)
+		if len(direct) != len(fallback) {
+			t.Fatalf("key %q: %d vs %d owners", key, len(direct), len(fallback))
+		}
+		for i := range direct {
+			if direct[i].ID() != fallback[i].ID() {
+				t.Fatalf("key %q owner %d: successor list %x, fallback %x",
+					key, i, direct[i].ID(), fallback[i].ID())
+			}
+		}
+	}
+}
+
+// TestChordPromotionAfterDeparture verifies the churn-stability property
+// failover relies on: when the primary leaves, the new primary is the
+// old second replica.
+func TestChordPromotionAfterDeparture(t *testing.T) {
+	net := chordNet(t, 8)
+	key := "promoted-key"
+	before := Owners(net, key, 3)
+	if !net.RemoveNode(before[0].ID()) {
+		t.Fatal("failed to remove primary")
+	}
+	after, ok := net.OwnerOf(key)
+	if !ok {
+		t.Fatal("no owner after departure")
+	}
+	if after.ID() != before[1].ID() {
+		t.Fatalf("new primary %x is not the old second replica %x", after.ID(), before[1].ID())
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	items := []Item{
+		{Key: "a", Blob: []byte{1, 2, 3}},
+		{Key: "multi word|key", Blob: nil},
+		{Key: "", Blob: bytes.Repeat([]byte{0xFF}, 300)},
+	}
+	got, err := DecodeBatch(EncodeBatch(nil, items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i].Key != items[i].Key || !bytes.Equal(got[i].Blob, items[i].Blob) {
+			t.Fatalf("item %d mismatch: %+v vs %+v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestBatchCodecCorrupt(t *testing.T) {
+	valid := EncodeBatch(nil, []Item{{Key: "k", Blob: []byte("data")}})
+	for _, tc := range [][]byte{
+		{},
+		valid[:len(valid)-1],           // truncated blob
+		append(valid, 0x01),            // trailing bytes
+		{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, // absurd count
+	} {
+		if _, err := DecodeBatch(tc); err == nil {
+			t.Fatalf("decoded corrupt batch %v without error", tc)
+		}
+	}
+}
