@@ -1,0 +1,121 @@
+// Command benchcheck compares two BENCH_*.json perf-trajectory reports
+// (the committed baseline vs a fresh hdkbench -json run) and fails when
+// the candidate regresses. It is the CI bench-regression gate.
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_PR3.json -candidate bench-new.json \
+//	           [-tolerance 0.20] [-time-tolerance 0.20]
+//
+// Runs are matched by (Peers, DFMax, Replicas). Deterministic per-query
+// cost counters (batched fetch RPCs, lattice probes, shipped postings)
+// are gated at -tolerance; wall-clock metrics (build ns, query ns) at
+// -time-tolerance — CI passes a looser time tolerance because runner
+// hardware varies between the machine that committed the baseline and
+// the one checking it, while the counter gates stay tight (the counters
+// are exactly reproducible from the seed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline BENCH_*.json")
+	candidate := flag.String("candidate", "", "fresh hdkbench -json output")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed relative regression for deterministic per-query counters")
+	timeTolerance := flag.Float64("time-tolerance", 0.20, "allowed relative regression for wall-clock metrics")
+	flag.Parse()
+
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -candidate are required")
+		os.Exit(2)
+	}
+	regressions, compared, err := check(*baseline, *candidate, *tolerance, *timeTolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("benchcheck: %d regression(s) across %d compared runs:\n", len(regressions), compared)
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: OK — %d runs compared, no metric regressed beyond tolerance\n", compared)
+}
+
+func load(path string) (*experiments.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runKey identifies one HDK measurement across reports.
+type runKey struct {
+	Peers, DFMax, Replicas int
+}
+
+func check(basePath, candPath string, tol, timeTol float64) (regressions []string, compared int, err error) {
+	base, err := load(basePath)
+	if err != nil {
+		return nil, 0, err
+	}
+	cand, err := load(candPath)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	baseRuns := index(base)
+	candRuns := index(cand)
+	if len(candRuns) == 0 {
+		return nil, 0, fmt.Errorf("candidate %s holds no HDK runs", candPath)
+	}
+	for key, b := range baseRuns {
+		c, ok := candRuns[key]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("run %+v present in baseline but missing from candidate", key))
+			continue
+		}
+		compared++
+		checkMetric := func(name string, bv, cv, t float64) {
+			if bv <= 0 {
+				return
+			}
+			if cv > bv*(1+t) {
+				regressions = append(regressions,
+					fmt.Sprintf("%+v %s: %.4g -> %.4g (+%.1f%%, tolerance %.0f%%)",
+						key, name, bv, cv, 100*(cv/bv-1), 100*t))
+			}
+		}
+		checkMetric("QueryRPCsAvg", b.QueryRPCsAvg, c.QueryRPCsAvg, tol)
+		checkMetric("QueryProbesAvg", b.QueryProbesAvg, c.QueryProbesAvg, tol)
+		checkMetric("QueryPostingsAvg", b.QueryPostingsAvg, c.QueryPostingsAvg, tol)
+		checkMetric("BuildNanos", float64(b.BuildNanos), float64(c.BuildNanos), timeTol)
+		checkMetric("QueryNanosAvg", b.QueryNanosAvg, c.QueryNanosAvg, timeTol)
+	}
+	return regressions, compared, nil
+}
+
+func index(rep *experiments.BenchReport) map[runKey]experiments.HDKStep {
+	out := make(map[runKey]experiments.HDKStep)
+	for _, step := range rep.Steps {
+		for _, h := range step.HDK {
+			out[runKey{Peers: step.Peers, DFMax: h.DFMax, Replicas: h.Replicas}] = h
+		}
+	}
+	return out
+}

@@ -10,12 +10,19 @@
 //
 //	hdkbench [-scale small|medium|paper] [-experiment all|table1|table2|fig2|...|fig8|avail]
 //	         [-fanout N] [-replicas R[,R...]] [-kill F] [-json PATH] [-quiet]
+//	hdkbench -connect HOST:PORT [-scale ...] [-replicas R] [-json PATH]
 //
 // The small scale finishes in seconds, medium in minutes; paper runs the
 // verbatim Table 2 parameters (hours in one process). -json additionally
 // writes the machine-readable results (configuration, per-level RPC and
 // probe counts, build/query wall-clock) to PATH — the BENCH_*.json
 // perf-trajectory format.
+//
+// -connect benches the multi-process deployment path instead: it
+// discovers the hdknode cluster behind the given daemon address, builds
+// the scale's collection over pooled TCP (DocsPerPeer documents per
+// daemon, first DFmax) and reports build/query wall-clock, per-query RPC
+// costs and wire/connection-pool traffic.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -36,10 +44,13 @@ func main() {
 	replicas := flag.String("replicas", "", "replication factor; for -experiment avail a comma list to compare, e.g. 1,2,3 (default 1,3)")
 	kill := flag.Float64("kill", 0.2, "fraction of nodes crashed by the avail experiment")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this path")
+	connect := flag.String("connect", "", "address of any hdknode daemon: bench a live multi-process cluster instead of the in-process sweep")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
-	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *kill, *fanout, *quiet); err != nil {
+	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *kill, *fanout, *quiet, setFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hdkbench:", err)
 		os.Exit(1)
 	}
@@ -61,7 +72,7 @@ func parseReplicas(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(scaleName, experiment, fabric, replicas, jsonPath string, kill float64, fanout int, quiet bool) error {
+func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill float64, fanout int, quiet bool, setFlags map[string]bool) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -80,6 +91,41 @@ func run(scaleName, experiment, fabric, replicas, jsonPath string, kill float64,
 		return err
 	}
 
+	progress := experiments.Progress(nil)
+	if !quiet {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if connect != "" {
+		// The live-cluster bench has no experiment selection, fabric
+		// choice or kill sweep; reject those flags rather than silently
+		// running something other than what was asked for.
+		for _, name := range []string{"experiment", "fabric", "kill"} {
+			if setFlags[name] {
+				return fmt.Errorf("-%s does not apply to -connect (live-cluster bench)", name)
+			}
+		}
+		if len(rlist) > 1 {
+			return fmt.Errorf("-connect takes a single -replicas value (got %q)", replicas)
+		}
+		r := 0
+		if len(rlist) == 1 {
+			r = rlist[0]
+		}
+		tr := transport.NewTCP()
+		defer tr.Close()
+		rep, err := experiments.ConnectBench(tr, connect, scale, r, progress)
+		if err != nil {
+			return err
+		}
+		rep.Fprint(os.Stdout)
+		if jsonPath != "" {
+			return experiments.WriteJSON(jsonPath, rep)
+		}
+		return nil
+	}
+
 	// The purely analytic artifacts need no sweep.
 	analytic := map[string]func() *experiments.Table{
 		"fig2":   experiments.Fig2,
@@ -93,13 +139,6 @@ func run(scaleName, experiment, fabric, replicas, jsonPath string, kill float64,
 			return experiments.WriteJSON(jsonPath, t)
 		}
 		return nil
-	}
-
-	progress := experiments.Progress(nil)
-	if !quiet {
-		progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
 	}
 
 	if experiment == "avail" {

@@ -1,0 +1,71 @@
+// Command hdknode is one peer of a multi-process HDK cluster: a daemon
+// that serves its share of the replicated global index — insert, batched
+// fetch, classification sweeps, replica repair and the cluster control
+// plane — over pooled, length-prefixed TCP. A cluster is a set of
+// hdknode processes plus a thin client (hdksearch -connect or hdkbench
+// -connect) that builds and queries the index through them.
+//
+// Usage:
+//
+//	hdknode -listen 127.0.0.1:7001                     # first node
+//	hdknode -listen 127.0.0.1:0 -join 127.0.0.1:7001   # every further node
+//
+// The daemon prints "hdknode listening on <addr>" once bound (the
+// cluster harness and shell scripts parse this), then serves until
+// SIGINT/SIGTERM or a cluster.shutdown RPC, draining in-flight
+// connections before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "host:port to serve on (port 0 binds an ephemeral port)")
+	join := flag.String("join", "", "address of any existing cluster member to join through")
+	replicas := flag.Int("replicas", 1, "replication factor this cluster is intended to run at (advertised to clients)")
+	callTimeout := flag.Duration("call-timeout", 30*time.Second, "per-RPC deadline for outbound calls (join/announce)")
+	flag.Parse()
+
+	if err := run(*listen, *join, *replicas, *callTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "hdknode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, join string, replicas int, callTimeout time.Duration) error {
+	tr := transport.NewTCPConfig(transport.TCPConfig{CallTimeout: callTimeout})
+	srv, err := cluster.NewServer(tr, listen, replicas)
+	if err != nil {
+		return err
+	}
+	if join != "" {
+		if err := srv.Join(join); err != nil {
+			tr.Close()
+			return err
+		}
+	}
+	// The banner goes to stdout (machine-parsed); everything else to
+	// stderr.
+	fmt.Printf("hdknode listening on %s\n", srv.Addr())
+	os.Stdout.Sync()
+	fmt.Fprintf(os.Stderr, "hdknode %s: serving (replicas=%d, join=%q)\n", srv.Addr(), replicas, join)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "hdknode %s: %v, shutting down\n", srv.Addr(), s)
+	case <-srv.Done():
+		fmt.Fprintf(os.Stderr, "hdknode %s: shutdown requested, exiting\n", srv.Addr())
+	}
+	return tr.Close()
+}

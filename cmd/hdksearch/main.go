@@ -6,6 +6,15 @@
 // Usage:
 //
 //	hdksearch [-docs N] [-peers N] [-dfmax N] [-topk N] [-fanout N] [-replicas R]
+//	hdksearch -connect HOST:PORT [-forget HOST:PORT] [-docs N] [-dfmax N] ...
+//
+// By default the peer network is simulated in-process. With -connect the
+// shell becomes the thin client of a REAL cluster: it discovers the
+// hdknode daemons behind the given address, ships them the engine
+// configuration, builds the index across the separate OS processes over
+// pooled TCP, and serves queries from their stores (-peers is ignored —
+// the cluster size decides; -replicas defaults to the factor the daemons
+// advertise).
 //
 // Type a query (space-separated terms from the printed sample
 // vocabulary), or one of the commands:
@@ -28,24 +37,36 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/rank"
 	"repro/internal/transport"
+	"repro/internal/transport/cluster"
 )
 
 func main() {
 	docs := flag.Int("docs", 400, "number of synthetic documents")
-	peers := flag.Int("peers", 8, "number of peers")
+	peers := flag.Int("peers", 8, "number of peers (in-process mode only)")
 	dfmax := flag.Int("dfmax", 12, "DFmax discriminative threshold")
 	topk := flag.Int("topk", 10, "results per query")
 	fanout := flag.Int("fanout", 4, "concurrent per-owner fetch RPCs per lattice level")
 	replicas := flag.Int("replicas", 1, "R-way key replication factor (searches fail over between replicas)")
+	connect := flag.String("connect", "", "address of any hdknode daemon: build and query a running multi-process cluster")
+	forget := flag.String("forget", "", "with -connect: drop this dead member's address from the cluster membership before building")
 	flag.Parse()
+	replicasSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "replicas" {
+			replicasSet = true
+		}
+	})
 
-	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas); err != nil {
+	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas, *connect, *forget, replicasSet); err != nil {
 		fmt.Fprintln(os.Stderr, "hdksearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, peers, dfmax, topk, fanout, replicas int) error {
+func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string, replicasSet bool) error {
+	if forget != "" && connect == "" {
+		return fmt.Errorf("-forget requires -connect (it edits a live cluster's membership)")
+	}
 	p := corpus.DefaultGenParams(docs)
 	p.AvgDocLen = 80
 	col, err := corpus.Generate(p)
@@ -53,34 +74,78 @@ func run(docs, peers, dfmax, topk, fanout, replicas int) error {
 		return err
 	}
 
-	net := overlay.NewNetwork(transport.NewInProc())
-	nodes := make([]*overlay.Node, peers)
-	for i := range nodes {
-		if nodes[i], err = net.AddNode(fmt.Sprintf("peer-%d", i)); err != nil {
+	var (
+		fabric overlay.Fabric
+		clu    *cluster.Client
+		tcp    *transport.TCP
+	)
+	if connect != "" {
+		tcp = transport.NewTCP()
+		defer tcp.Close()
+		if !replicasSet {
+			info, err := cluster.FetchInfo(tcp, connect)
+			if err != nil {
+				return fmt.Errorf("connect %s: %w", connect, err)
+			}
+			replicas = info.Replicas
+		}
+		if clu, err = cluster.Connect(tcp, connect); err != nil {
 			return err
 		}
+		if forget != "" {
+			// Operator cleanup: a crashed daemon stays in the grow-only
+			// bootstrap membership until someone forgets it.
+			if !clu.RemoveNode(overlay.HashNode(forget)) {
+				return fmt.Errorf("forget %s: not in the cluster membership", forget)
+			}
+			if err := clu.Forget(forget); err != nil {
+				return err
+			}
+			fmt.Printf("forgot dead member %s on all live daemons\n", forget)
+		}
+		peers = clu.Size()
+		fabric = clu
+		fmt.Printf("connected to %d hdknode processes via %s\n", peers, connect)
+	} else {
+		net := overlay.NewNetwork(transport.NewInProc())
+		for i := 0; i < peers; i++ {
+			if _, err := net.AddNode(fmt.Sprintf("peer-%d", i)); err != nil {
+				return err
+			}
+		}
+		fabric = net
 	}
+
 	cfg := core.DefaultConfig(rank.CollectionStats{NumDocs: col.M(), AvgDocLen: col.AvgDocLen()})
 	cfg.DFMax = dfmax
 	cfg.Window = 10
 	cfg.SearchFanout = fanout
 	cfg.ReplicationFactor = replicas
-	eng, err := core.NewEngine(net, cfg, col.Vocab, col.TermFrequencies())
-	if err != nil {
-		return err
-	}
-	for i, part := range col.SplitRoundRobin(peers) {
-		if _, err := eng.AddPeer(nodes[i], part); err != nil {
+	if clu != nil {
+		if err := clu.Configure(cfg); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("indexing %d docs over %d peers (DFmax=%d, w=%d, smax=%d, R=%d)...\n",
-		col.M(), peers, cfg.DFMax, cfg.Window, cfg.SMax, cfg.ReplicationFactor)
+	eng, err := core.NewEngine(fabric, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		return err
+	}
+	members := fabric.Members()
+	for i, part := range col.SplitRoundRobin(peers) {
+		if _, err := eng.AddPeer(members[i], part); err != nil {
+			return err
+		}
+	}
+	where := "peers"
+	if clu != nil {
+		where = "hdknode processes"
+	}
+	fmt.Printf("indexing %d docs over %d %s (DFmax=%d, w=%d, smax=%d, R=%d)...\n",
+		col.M(), peers, where, cfg.DFMax, cfg.Window, cfg.SMax, cfg.ReplicationFactor)
 	if err := eng.BuildIndex(); err != nil {
 		return err
 	}
-	stats := eng.Stats()
-	fmt.Printf("index ready: %d keys, %d postings stored\n", stats.KeysTotal, stats.StoredTotal)
+	printIndexReady(eng, clu)
 	fmt.Printf("sample vocabulary: %s\n", strings.Join(col.Vocab[40:52], " "))
 	fmt.Println(`type a query, ":stats", ":doc N" or ":quit"`)
 
@@ -89,6 +154,7 @@ func run(docs, peers, dfmax, topk, fanout, replicas int) error {
 		termID[s] = corpus.TermID(i)
 	}
 
+	origin := members[0]
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -102,7 +168,7 @@ func run(docs, peers, dfmax, topk, fanout, replicas int) error {
 		case line == ":quit":
 			return nil
 		case line == ":stats":
-			printStats(eng, net)
+			printStats(eng, fabric, clu, tcp)
 			continue
 		case strings.HasPrefix(line, ":doc "):
 			printDoc(col, strings.TrimPrefix(line, ":doc "))
@@ -116,7 +182,7 @@ func run(docs, peers, dfmax, topk, fanout, replicas int) error {
 			fmt.Println("no known terms in query")
 			continue
 		}
-		res, err := eng.Search(q, nodes[0], topk)
+		res, err := eng.Search(q, origin, topk)
 		if err != nil {
 			return err
 		}
@@ -142,15 +208,53 @@ func parseQuery(line string, termID map[string]corpus.TermID) (corpus.Query, []s
 	return q, unknown
 }
 
-func printStats(eng *core.Engine, net *overlay.Network) {
-	stats := eng.Stats()
+// printIndexReady reports the resident index size: from the engine's own
+// stores in-process, from the daemons' stores over RPC in connect mode.
+func printIndexReady(eng *core.Engine, clu *cluster.Client) {
+	if clu == nil {
+		stats := eng.Stats()
+		fmt.Printf("index ready: %d keys, %d postings stored\n", stats.KeysTotal, stats.StoredTotal)
+		return
+	}
+	nodeStats, err := clu.StoreStats()
+	if err != nil {
+		fmt.Printf("index ready (store stats unavailable: %v)\n", err)
+		return
+	}
+	posts, keys := 0, 0
+	for _, ns := range nodeStats {
+		posts += ns.Stats.PostsTotal()
+		keys += ns.Stats.KeysTotal()
+	}
+	fmt.Printf("index ready: %d keys, %d postings stored across %d processes\n", keys, posts, len(nodeStats))
+}
+
+func printStats(eng *core.Engine, fabric overlay.Fabric, clu *cluster.Client, tcp *transport.TCP) {
 	traffic := eng.Traffic().Snapshot()
-	fmt.Printf("keys by size: 1:%d 2:%d 3:%d | stored postings %d | inserted %d\n",
-		stats.KeysBySize[1], stats.KeysBySize[2], stats.KeysBySize[3],
-		stats.StoredTotal, traffic.InsertedTotal)
-	count, hops := net.LookupStats()
-	fmt.Printf("dht lookups %d, mean hops %.2f | transport: %d msgs, %d bytes\n",
-		count, hops, net.TransportStats().Messages, net.TransportStats().Bytes)
+	if clu == nil {
+		stats := eng.Stats()
+		fmt.Printf("keys by size: 1:%d 2:%d 3:%d | stored postings %d | inserted %d\n",
+			stats.KeysBySize[1], stats.KeysBySize[2], stats.KeysBySize[3],
+			stats.StoredTotal, traffic.InsertedTotal)
+		if net, ok := fabric.(*overlay.Network); ok {
+			count, hops := net.LookupStats()
+			fmt.Printf("dht lookups %d, mean hops %.2f | transport: %d msgs, %d bytes\n",
+				count, hops, net.TransportStats().Messages, net.TransportStats().Bytes)
+		}
+	} else {
+		nodeStats, err := clu.StoreStats()
+		if err != nil {
+			fmt.Printf("store stats unavailable: %v\n", err)
+		} else {
+			for _, ns := range nodeStats {
+				fmt.Printf("  %s: %d keys, %d postings\n", ns.Addr, ns.Stats.KeysTotal(), ns.Stats.PostsTotal())
+			}
+		}
+		st := clu.TransportStats()
+		ps := tcp.PoolStats()
+		fmt.Printf("transport: %d msgs, %d payload bytes | pool: %d dials, %d reuses, %d stale retries\n",
+			st.Messages, st.Bytes, ps.Dials, ps.Reuses, ps.StaleRetries)
+	}
 	fmt.Printf("queries: %d lattice probes answered by %d batched fetch RPCs over %d levels (%d replica failovers)\n",
 		traffic.ProbeMessages, traffic.FetchRPCs, traffic.QueryRounds, traffic.SearchFailovers)
 }

@@ -11,9 +11,17 @@
 // of the evaluation. internal/replica adds the availability layer the
 // prototype inherited from P-Grid: R-way key placement over any overlay
 // fabric, search failover between replicas, and churn repair that
-// restores coverage after node crashes without re-indexing. See README.md
-// for build, test and benchmark instructions, an overview of the batched
-// query path, and the replication/failure model.
+// restores coverage after node crashes without re-indexing.
+//
+// The system also runs as an actual distributed program: cmd/hdknode is
+// a daemon serving one peer's index store over transport.TCP — a pooled,
+// deadline-aware transport with per-address idle connection reuse — and
+// internal/transport/cluster provides the one-hop client fabric that
+// lets the unchanged engine build and query a cluster of separate OS
+// processes (hdksearch -connect, hdkbench -connect). See README.md for
+// build, test and benchmark instructions, an overview of the batched
+// query path, the replication/failure model, and "Running a real
+// cluster".
 //
 // The root package only anchors the repository-level benchmarks in
 // bench_test.go; the implementation lives under internal/.

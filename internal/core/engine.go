@@ -143,47 +143,23 @@ func NewEngine(net overlay.Fabric, cfg Config, vocab []string, termFreqs []int) 
 	return e, nil
 }
 
-// attachStore registers the index services on an overlay node.
+// attachStore hosts the index store for an overlay node in this process
+// and registers the index services on it — unless the member's store
+// lives in another process (overlay.RemoteStore, the hdknode daemon
+// case), where the services are already being served remotely and the
+// engine reaches them through the fabric's RPC.
 func (e *Engine) attachStore(node overlay.Member) {
+	if overlay.IsRemote(node) {
+		return
+	}
 	store := newHDKStore(&e.cfg)
 	e.stores[node.ID()] = store
-	node.Handle(svcInsert, func(req []byte) ([]byte, error) {
-		contributor, batch, err := decodeInsertReq(req)
-		if err != nil {
-			return nil, err
-		}
-		// The response reports, for keys already classified, their
-		// global status: new contributors of existing NDKs must learn
-		// the classification to drive their expansions.
-		var classified []postings.KeyedMessage
-		for _, m := range batch {
-			status, isClassified := store.insert(m.Key, int(m.Aux), m.List, contributor)
-			if isClassified {
-				classified = append(classified, postings.KeyedMessage{Key: m.Key, Aux: uint64(status)})
-			}
-		}
-		return postings.EncodeKeyedBatch(nil, classified), nil
-	})
-	node.Handle(svcFetchBatch, func(req []byte) ([]byte, error) {
-		keys, err := decodeFetchBatchReq(req)
-		if err != nil {
-			return nil, err
-		}
-		return encodeFetchBatchResp(store.fetchBatch(keys)), nil
-	})
-	node.Handle(replica.Service, func(req []byte) ([]byte, error) {
-		items, err := replica.DecodeBatch(req)
-		if err != nil {
-			return nil, err
-		}
-		for _, it := range items {
-			if _, err := store.importEntry(it.Key, it.Blob); err != nil {
-				return nil, fmt.Errorf("core: repair import %q: %w", it.Key, err)
-			}
-		}
-		return nil, nil
-	})
+	attachIndexServices(node, store)
 }
+
+// classifySweepFanout bounds concurrent classification-sweep RPCs when
+// stores live in other processes (the multi-process build path).
+const classifySweepFanout = 8
 
 // replicas returns the configured replication factor (>= 1). The
 // effective replica set of a key is additionally capped at the overlay
@@ -356,18 +332,49 @@ func (e *Engine) indexPeerRound(p *Peer, s int) error {
 	return nil
 }
 
-// classifyAndNotify sweeps every store, truncates NDK posting lists and
-// sends expansion notifications to contributing peers (batched per peer,
-// one message per store/peer pair).
+// classifyAndNotify sweeps every index store, truncates NDK posting
+// lists and sends expansion notifications to contributing peers (batched
+// per peer, one message per store/peer pair). Stores hosted in this
+// process are swept directly; stores served by other processes (hdknode
+// daemons) are swept through the SvcClassify RPC — either way the sweep
+// itself runs next to the data and only the notify map crosses the wire.
 func (e *Engine) classifyAndNotify(s int) error {
-	// Deterministic store order.
-	ids := make([]overlay.ID, 0, len(e.stores))
-	for id := range e.stores {
-		ids = append(ids, id)
+	// Phase 1: sweep every store. The sweeps are independent (each
+	// truncates and classifies only its own entries), so remote sweeps
+	// fan out concurrently rather than paying one blocking round trip
+	// per daemon per round; in-process stores sweep directly.
+	members := e.net.Members() // deterministic ring order
+	notifies := make([]map[string][]string, len(members))
+	sweepErrs := make([]error, len(members))
+	forEachLimit(len(members), classifySweepFanout, func(i int) {
+		m := members[i]
+		if store, ok := e.stores[m.ID()]; ok {
+			notifies[i] = store.classifySweep(s)
+			return
+		}
+		if !overlay.IsRemote(m) {
+			return // member joined after construction with no store yet
+		}
+		raw, err := e.net.CallService(m.Addr(), SvcClassify, EncodeClassifyReq(s))
+		if err != nil {
+			sweepErrs[i] = fmt.Errorf("core: classify sweep at %s: %w", m.Addr(), err)
+			return
+		}
+		if notifies[i], err = DecodeNotifyMap(raw); err != nil {
+			sweepErrs[i] = fmt.Errorf("core: classify sweep at %s: %w", m.Addr(), err)
+		}
+	})
+	for _, err := range sweepErrs {
+		if err != nil {
+			return err
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		notify := e.stores[id].classifySweep(s)
+	// Phase 2: deliver expansion notifications in ring order — the
+	// delivery schedule stays deterministic regardless of sweep timing.
+	for _, notify := range notifies {
+		if notify == nil {
+			continue
+		}
 		// Group keys by contributor address.
 		byAddr := make(map[string][]string)
 		for key, addrs := range notify {
@@ -738,7 +745,9 @@ type IndexStats struct {
 	PerNode      map[overlay.ID]int // resident postings per overlay node
 }
 
-// Stats scans the stores and aggregates index statistics.
+// Stats scans the stores hosted in THIS process and aggregates index
+// statistics; stores served by other processes are not included (the
+// cluster client exposes those via its StoreStats sweep).
 func (e *Engine) Stats() IndexStats {
 	st := IndexStats{PerNode: make(map[overlay.ID]int, len(e.stores))}
 	for id, store := range e.stores {
@@ -757,7 +766,9 @@ func (e *Engine) Stats() IndexStats {
 }
 
 // KeyInfo exposes one key's global classification for tests and tools,
-// consulting the key's replica set in failover order.
+// consulting the key's replica set in failover order. Only stores hosted
+// in this process are consulted; on a purely remote fabric it reports
+// StatusAbsent.
 func (e *Engine) KeyInfo(k Key) (KeyStatus, int, postings.List) {
 	canonical := k.CanonicalString(e.vocab)
 	for _, owner := range replica.Owners(e.net, canonical, e.replicas()) {
@@ -772,32 +783,49 @@ func (e *Engine) KeyInfo(k Key) (KeyStatus, int, postings.List) {
 	return StatusAbsent, 0, nil
 }
 
-// engineInventory adapts the engine's per-node stores to the repair
-// sweep's view of the replicated index.
+// engineInventory adapts the replicated index to the repair sweep's
+// view: stores hosted in this process are read directly, stores hosted
+// by other processes (overlay.RemoteStore members) are read through the
+// index inventory RPCs — so RepairReplicas and AuditReplicas are correct
+// on any fabric, including the multi-process cluster. A member whose
+// daemon is unreachable reports no resident keys, exactly the semantics
+// a post-crash sweep needs.
 type engineInventory struct{ e *Engine }
 
 func (v engineInventory) store(m overlay.Member) *hdkStore { return v.e.stores[m.ID()] }
+
+func (v engineInventory) remote() RemoteInventory {
+	return RemoteInventory{Call: v.e.net.CallService}
+}
 
 func (v engineInventory) Keys(m overlay.Member) []string {
 	if st := v.store(m); st != nil {
 		return st.keyList()
 	}
-	return nil
+	if !overlay.IsRemote(m) {
+		return nil
+	}
+	return v.remote().Keys(m)
 }
 
 func (v engineInventory) Fingerprint(m overlay.Member, key string) (int, bool) {
-	st := v.store(m)
-	if st == nil {
+	if st := v.store(m); st != nil {
+		return st.entryDF(key)
+	}
+	if !overlay.IsRemote(m) {
 		return 0, false
 	}
-	return st.entryDF(key)
+	return v.remote().Fingerprint(m, key)
 }
 
 func (v engineInventory) Export(m overlay.Member, key string) ([]byte, bool) {
 	if st := v.store(m); st != nil {
 		return st.exportEntry(key)
 	}
-	return nil, false
+	if !overlay.IsRemote(m) {
+		return nil, false
+	}
+	return v.remote().Export(m, key)
 }
 
 // Repairer returns a replica.Repairer configured for this engine's

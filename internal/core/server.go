@@ -1,0 +1,362 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/overlay"
+	"repro/internal/postings"
+	"repro/internal/replica"
+)
+
+// This file hosts the server side of the HDK index as a standalone unit:
+// every RPC service an index node answers, registered onto any
+// overlay.Member. The in-process Engine attaches stores through the same
+// registration, so a store served by the hdknode daemon in another OS
+// process and a store living inside the Engine execute literally the same
+// handler code — the cross-process deployment cannot drift from the
+// simulated one.
+
+// Exported index service names. The multi-process cluster client invokes
+// these on daemon members; the Engine uses them for stores it does not
+// host locally.
+const (
+	// SvcClassify runs one classification sweep (request: uvarint key
+	// size) and returns the newly non-discriminative keys with their
+	// contributor addresses (the notify map).
+	SvcClassify = "hdk.classify"
+	// SvcKeys returns the store's resident keys (repair inventory).
+	SvcKeys = "hdk.keys"
+	// SvcEntryInfo returns a resident entry's replica fingerprint.
+	SvcEntryInfo = "hdk.entryInfo"
+	// SvcEntryExport returns a resident entry's repair snapshot.
+	SvcEntryExport = "hdk.entryExport"
+	// SvcStats returns resident posting/key counts per key size.
+	SvcStats = "hdk.stats"
+)
+
+// StoreServer hosts one overlay member's fraction of the global HDK
+// index outside an Engine — the daemon-side building block of the
+// multi-process deployment: cmd/hdknode creates one per process and
+// attaches it to its cluster membership identity.
+type StoreServer struct {
+	cfg   Config
+	store *hdkStore
+}
+
+// NewStoreServer validates the configuration and creates an empty store.
+// The configuration must equal the building client's engine configuration
+// (the cluster control plane ships it before the build), since the store
+// applies DFmax classification and idf scoring server-side.
+func NewStoreServer(cfg Config) (*StoreServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &StoreServer{cfg: cfg}
+	s.store = newHDKStore(&s.cfg)
+	return s, nil
+}
+
+// Attach registers every index service on the member.
+func (s *StoreServer) Attach(m overlay.Member) { attachIndexServices(m, s.store) }
+
+// Config returns the configuration the store classifies and scores with.
+func (s *StoreServer) Config() Config { return s.cfg }
+
+// Populated reports whether the store holds any index entries — i.e. a
+// build already ran against it.
+func (s *StoreServer) Populated() bool { return s.store.keyCount() > 0 }
+
+// StoredBySize returns resident posting and key counts per key size.
+func (s *StoreServer) StoredBySize() (posts, keys []int) {
+	return s.store.storedBySize(MaxKeySize)
+}
+
+// attachIndexServices registers the full index-node RPC surface for one
+// store on an overlay member. Shared by Engine.attachStore (in-process
+// stores) and StoreServer.Attach (daemon-hosted stores).
+func attachIndexServices(node overlay.Member, store *hdkStore) {
+	node.Handle(svcInsert, func(req []byte) ([]byte, error) {
+		contributor, batch, err := decodeInsertReq(req)
+		if err != nil {
+			return nil, err
+		}
+		// The response reports, for keys already classified, their
+		// global status: new contributors of existing NDKs must learn
+		// the classification to drive their expansions.
+		var classified []postings.KeyedMessage
+		for _, m := range batch {
+			status, isClassified := store.insert(m.Key, int(m.Aux), m.List, contributor)
+			if isClassified {
+				classified = append(classified, postings.KeyedMessage{Key: m.Key, Aux: uint64(status)})
+			}
+		}
+		return postings.EncodeKeyedBatch(nil, classified), nil
+	})
+	node.Handle(svcFetchBatch, func(req []byte) ([]byte, error) {
+		keys, err := decodeFetchBatchReq(req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeFetchBatchResp(store.fetchBatch(keys)), nil
+	})
+	node.Handle(replica.Service, func(req []byte) ([]byte, error) {
+		items, err := replica.DecodeBatch(req)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			if _, err := store.importEntry(it.Key, it.Blob); err != nil {
+				return nil, fmt.Errorf("core: repair import %q: %w", it.Key, err)
+			}
+		}
+		return nil, nil
+	})
+	node.Handle(SvcClassify, func(req []byte) ([]byte, error) {
+		size, n := binary.Uvarint(req)
+		if n <= 0 || size < 1 || size > MaxKeySize {
+			return nil, errCorruptRPC
+		}
+		return encodeNotifyMap(store.classifySweep(int(size))), nil
+	})
+	node.Handle(SvcKeys, func(req []byte) ([]byte, error) {
+		return postings.EncodeKeyList(nil, store.keyList()), nil
+	})
+	node.Handle(SvcEntryInfo, func(req []byte) ([]byte, error) {
+		df, ok := store.entryDF(string(req))
+		if !ok {
+			return []byte{0}, nil
+		}
+		return binary.AppendUvarint([]byte{1}, uint64(df)), nil
+	})
+	node.Handle(SvcEntryExport, func(req []byte) ([]byte, error) {
+		blob, ok := store.exportEntry(string(req))
+		if !ok {
+			return []byte{0}, nil
+		}
+		return append([]byte{1}, blob...), nil
+	})
+	node.Handle(SvcStats, func(req []byte) ([]byte, error) {
+		posts, keys := store.storedBySize(MaxKeySize)
+		buf := binary.AppendUvarint(nil, uint64(MaxKeySize))
+		for _, v := range posts {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+		for _, v := range keys {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+		return buf, nil
+	})
+}
+
+// RemoteInventory implements replica.Inventory over the index inventory
+// RPCs (SvcKeys/SvcEntryInfo/SvcEntryExport) through any service caller
+// — the single definition of the inventory wire contract, shared by the
+// engine's repair sweep (for members whose stores live in other
+// processes) and the cluster client's engine-free Repairer. A member
+// whose daemon is unreachable or answers garbage reports no resident
+// keys, exactly the semantics a post-crash sweep needs.
+type RemoteInventory struct {
+	Call func(addr, service string, req []byte) ([]byte, error)
+}
+
+// Keys implements replica.Inventory.
+func (ri RemoteInventory) Keys(m overlay.Member) []string {
+	raw, err := ri.Call(m.Addr(), SvcKeys, nil)
+	if err != nil {
+		return nil
+	}
+	keys, err := postings.DecodeKeyList(raw)
+	if err != nil {
+		return nil
+	}
+	return keys
+}
+
+// Fingerprint implements replica.Inventory.
+func (ri RemoteInventory) Fingerprint(m overlay.Member, key string) (int, bool) {
+	raw, err := ri.Call(m.Addr(), SvcEntryInfo, []byte(key))
+	if err != nil {
+		return 0, false
+	}
+	df, ok, err := DecodeEntryInfoResp(raw)
+	if err != nil {
+		return 0, false
+	}
+	return df, ok
+}
+
+// Export implements replica.Inventory.
+func (ri RemoteInventory) Export(m overlay.Member, key string) ([]byte, bool) {
+	raw, err := ri.Call(m.Addr(), SvcEntryExport, []byte(key))
+	if err != nil {
+		return nil, false
+	}
+	blob, ok, err := DecodeEntryExportResp(raw)
+	if err != nil {
+		return nil, false
+	}
+	return blob, ok
+}
+
+var _ replica.Inventory = RemoteInventory{}
+
+// EncodeClassifyReq builds a SvcClassify request for one key size.
+func EncodeClassifyReq(size int) []byte {
+	return binary.AppendUvarint(nil, uint64(size))
+}
+
+// encodeNotifyMap serializes a classify sweep's notify map (key →
+// contributor addresses) with keys in sorted order, so the notification
+// schedule is deterministic regardless of which process swept the store.
+func encodeNotifyMap(notify map[string][]string) []byte {
+	keys := make([]string, 0, len(notify))
+	for k := range notify {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		addrs := notify[k]
+		buf = binary.AppendUvarint(buf, uint64(len(addrs)))
+		for _, a := range addrs {
+			buf = binary.AppendUvarint(buf, uint64(len(a)))
+			buf = append(buf, a...)
+		}
+	}
+	return buf
+}
+
+// DecodeNotifyMap parses a SvcClassify response.
+func DecodeNotifyMap(buf []byte) (map[string][]string, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 || n > uint64(len(buf)) {
+		return nil, errCorruptRPC
+	}
+	readStr := func() (string, bool) {
+		l, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 || uint64(len(buf)-off-sz) < l {
+			return "", false
+		}
+		off += sz
+		s := string(buf[off : off+int(l)])
+		off += int(l)
+		return s, true
+	}
+	out := make(map[string][]string, n)
+	for i := uint64(0); i < n; i++ {
+		key, ok := readStr()
+		if !ok {
+			return nil, errCorruptRPC
+		}
+		na, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 || na > uint64(len(buf)) {
+			return nil, errCorruptRPC
+		}
+		off += sz
+		addrs := make([]string, 0, na)
+		for j := uint64(0); j < na; j++ {
+			a, ok := readStr()
+			if !ok {
+				return nil, errCorruptRPC
+			}
+			addrs = append(addrs, a)
+		}
+		out[key] = addrs
+	}
+	if off != len(buf) {
+		return nil, errCorruptRPC
+	}
+	return out, nil
+}
+
+// DecodeEntryInfoResp parses a SvcEntryInfo response into the replica
+// fingerprint contract: (version, resident).
+func DecodeEntryInfoResp(resp []byte) (int, bool, error) {
+	if len(resp) == 0 {
+		return 0, false, errCorruptRPC
+	}
+	if resp[0] == 0 {
+		if len(resp) != 1 {
+			return 0, false, errCorruptRPC
+		}
+		return 0, false, nil
+	}
+	df, n := binary.Uvarint(resp[1:])
+	if n <= 0 || 1+n != len(resp) {
+		return 0, false, errCorruptRPC
+	}
+	return int(df), true, nil
+}
+
+// DecodeEntryExportResp parses a SvcEntryExport response into the repair
+// snapshot contract: (blob, resident).
+func DecodeEntryExportResp(resp []byte) ([]byte, bool, error) {
+	if len(resp) == 0 {
+		return nil, false, errCorruptRPC
+	}
+	if resp[0] == 0 {
+		if len(resp) != 1 {
+			return nil, false, errCorruptRPC
+		}
+		return nil, false, nil
+	}
+	return resp[1:], true, nil
+}
+
+// StoreStats is one index node's resident footprint, as answered by
+// SvcStats.
+type StoreStats struct {
+	PostsBySize [MaxKeySize + 1]int
+	KeysBySize  [MaxKeySize + 1]int
+}
+
+// PostsTotal sums resident postings across key sizes.
+func (s StoreStats) PostsTotal() int {
+	t := 0
+	for _, v := range s.PostsBySize {
+		t += v
+	}
+	return t
+}
+
+// KeysTotal sums resident keys across key sizes.
+func (s StoreStats) KeysTotal() int {
+	t := 0
+	for _, v := range s.KeysBySize {
+		t += v
+	}
+	return t
+}
+
+// DecodeStoreStats parses a SvcStats response.
+func DecodeStoreStats(resp []byte) (StoreStats, error) {
+	var st StoreStats
+	maxSize, off := binary.Uvarint(resp)
+	if off <= 0 || maxSize != MaxKeySize {
+		return st, errCorruptRPC
+	}
+	for i := 0; i <= MaxKeySize; i++ {
+		v, n := binary.Uvarint(resp[off:])
+		if n <= 0 {
+			return st, errCorruptRPC
+		}
+		st.PostsBySize[i] = int(v)
+		off += n
+	}
+	for i := 0; i <= MaxKeySize; i++ {
+		v, n := binary.Uvarint(resp[off:])
+		if n <= 0 {
+			return st, errCorruptRPC
+		}
+		st.KeysBySize[i] = int(v)
+		off += n
+	}
+	if off != len(resp) {
+		return st, errCorruptRPC
+	}
+	return st, nil
+}

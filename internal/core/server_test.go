@@ -1,0 +1,155 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNotifyMapCodecRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    map[string][]string
+	}{
+		{"empty", map[string][]string{}},
+		{"single", map[string][]string{"alpha": {"n0"}}},
+		{"multi", map[string][]string{
+			"alpha":      {"n0", "n1"},
+			"beta:gamma": {"n2"},
+			"delta":      {},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeNotifyMap(encodeNotifyMap(tc.m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.m) {
+				t.Fatalf("decoded %d keys, want %d", len(got), len(tc.m))
+			}
+			for k, want := range tc.m {
+				if g := got[k]; len(g) != len(want) || (len(want) > 0 && !reflect.DeepEqual(g, want)) {
+					t.Fatalf("key %q: %v, want %v", k, g, want)
+				}
+			}
+		})
+	}
+}
+
+func TestNotifyMapCodecCorrupt(t *testing.T) {
+	valid := encodeNotifyMap(map[string][]string{"alpha": {"n0", "n1"}})
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty-buffer", nil},
+		{"truncated", valid[:len(valid)-2]},
+		{"trailing-garbage", append(append([]byte(nil), valid...), 0xff)},
+		{"huge-count", []byte{0xff, 0xff, 0xff, 0xff, 0x0f}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeNotifyMap(tc.buf); err == nil {
+				t.Fatal("corrupt notify map decoded")
+			}
+		})
+	}
+}
+
+func TestEntryRespCodecs(t *testing.T) {
+	if _, ok, err := DecodeEntryInfoResp([]byte{0}); err != nil || ok {
+		t.Fatalf("absent info: ok=%v err=%v", ok, err)
+	}
+	df, ok, err := DecodeEntryInfoResp(append([]byte{1}, 0xAC, 0x02)) // uvarint 300
+	if err != nil || !ok || df != 300 {
+		t.Fatalf("present info: df=%d ok=%v err=%v", df, ok, err)
+	}
+	for _, bad := range [][]byte{nil, {0, 9}, {1}} {
+		if _, _, err := DecodeEntryInfoResp(bad); err == nil {
+			t.Fatalf("corrupt info %v decoded", bad)
+		}
+	}
+
+	if _, ok, err := DecodeEntryExportResp([]byte{0}); err != nil || ok {
+		t.Fatalf("absent export: ok=%v err=%v", ok, err)
+	}
+	blob, ok, err := DecodeEntryExportResp([]byte{1, 5, 6, 7})
+	if err != nil || !ok || !reflect.DeepEqual(blob, []byte{5, 6, 7}) {
+		t.Fatalf("present export: %v ok=%v err=%v", blob, ok, err)
+	}
+	if _, _, err := DecodeEntryExportResp(nil); err == nil {
+		t.Fatal("empty export resp decoded")
+	}
+	if _, _, err := DecodeEntryExportResp([]byte{0, 1}); err == nil {
+		t.Fatal("absent-with-garbage export resp decoded")
+	}
+}
+
+// TestStoreServerServesEngineStore builds an index in-process and then
+// reads one node's store back through the exported service handlers —
+// the same byte path the cluster daemon serves.
+func TestStoreServerServesEngineStore(t *testing.T) {
+	col := testCollection(t, 40)
+	cfg := testConfig(col, 6)
+	eng := buildEngine(t, col, 3, cfg)
+	if err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	m := eng.net.Members()[0]
+
+	raw, err := eng.net.CallService(m.Addr(), SvcStats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := DecodeStoreStats(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PostsTotal() == 0 || st.KeysTotal() == 0 {
+		t.Fatalf("empty store stats: %+v", st)
+	}
+	// Stats served over RPC must agree with the engine's direct sweep.
+	if want := eng.Stats().PerNode[m.ID()]; st.PostsTotal() != want {
+		t.Fatalf("SvcStats postings %d, engine sweep %d", st.PostsTotal(), want)
+	}
+
+	rawKeys, err := eng.net.CallService(m.Addr(), SvcKeys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := eng.stores[m.ID()].keyList()
+	if len(rawKeys) == 0 || len(keys) == 0 {
+		t.Fatal("no keys")
+	}
+	// Spot-check entry info/export for the first key.
+	key := keys[0]
+	rawInfo, err := eng.net.CallService(m.Addr(), SvcEntryInfo, []byte(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, ok, err := DecodeEntryInfoResp(rawInfo)
+	if err != nil || !ok {
+		t.Fatalf("entry info for %q: ok=%v err=%v", key, ok, err)
+	}
+	if wantDF, _ := eng.stores[m.ID()].entryDF(key); df != wantDF {
+		t.Fatalf("df over RPC %d, direct %d", df, wantDF)
+	}
+	rawExp, err := eng.net.CallService(m.Addr(), SvcEntryExport, []byte(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, ok, err := DecodeEntryExportResp(rawExp)
+	if err != nil || !ok {
+		t.Fatalf("entry export: ok=%v err=%v", ok, err)
+	}
+	wantBlob, _ := eng.stores[m.ID()].exportEntry(key)
+	if !reflect.DeepEqual(blob, wantBlob) {
+		t.Fatal("export blob over RPC diverges from direct export")
+	}
+	// Absent key answers absent, not an error.
+	rawInfo, err = eng.net.CallService(m.Addr(), SvcEntryInfo, []byte("no:such:key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := DecodeEntryInfoResp(rawInfo); ok {
+		t.Fatal("absent key reported resident")
+	}
+}

@@ -191,6 +191,13 @@ func (s *hdkStore) keyList() []string {
 	return out
 }
 
+// keyCount returns the number of resident keys.
+func (s *hdkStore) keyCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
 // entryDF reports whether the store holds the key and the copy's global
 // df — the monotone freshness fingerprint the repair sweep compares
 // across replicas.

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/rank"
+	"repro/internal/transport"
+	"repro/internal/transport/cluster"
+)
+
+// ConnectReport measures one build+query run against a LIVE hdknode
+// cluster (hdkbench -connect): the deployment-path counterpart of a
+// sweep step, with wire and connection-pool costs attached.
+type ConnectReport struct {
+	Nodes    int
+	Replicas int
+	Docs     int
+	Queries  int
+	DFMax    int
+
+	BuildNanos       int64
+	QueryNanosAvg    float64
+	QueryRPCsAvg     float64
+	QueryProbesAvg   float64
+	QueryPostingsAvg float64
+	FailoversTotal   uint64
+
+	WireMessages uint64
+	WireBytes    uint64
+	PoolDials    uint64
+	PoolReuses   uint64
+}
+
+// ConnectBench discovers the cluster behind seed, builds the scale's
+// collection over it (DocsPerPeer documents per daemon, first DFmax) and
+// measures build and per-query costs over the real sockets. replicas <= 0
+// adopts the factor the daemons advertise.
+func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas int, progress Progress) (*ConnectReport, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if progress == nil {
+		progress = nopProgress
+	}
+	if replicas <= 0 {
+		info, err := cluster.FetchInfo(tr, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fetch info from %s: %w", seed, err)
+		}
+		replicas = info.Replicas
+	}
+	c, err := cluster.Connect(tr, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	if n == 0 {
+		return nil, fmt.Errorf("experiments: empty cluster behind %s", seed)
+	}
+
+	gp := scale.GenParams()
+	gp.NumDocs = n * scale.DocsPerPeer
+	col, err := corpus.Generate(gp)
+	if err != nil {
+		return nil, err
+	}
+	cen := baseline.NewCentralized(col, rank.DefaultBM25())
+	qp := corpus.DefaultQueryParams(scale.NumQueries)
+	qp.MinHits = scale.MinHits
+	queries, err := corpus.GenerateQueries(col, qp, scale.Window, cen.ConjunctiveHits)
+	if err != nil {
+		return nil, fmt.Errorf("query generation: %w", err)
+	}
+
+	cfg := core.DefaultConfig(rank.CollectionStats{NumDocs: col.M(), AvgDocLen: col.AvgDocLen()})
+	cfg.DFMax = scale.DFMaxes[0]
+	cfg.SMax = scale.SMax
+	cfg.Window = scale.Window
+	cfg.Ff = scale.Ff
+	if scale.SearchFanout > 0 {
+		cfg.SearchFanout = scale.SearchFanout
+	}
+	cfg.ReplicationFactor = replicas
+
+	if err := c.Configure(cfg); err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(c, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		return nil, err
+	}
+	members := c.Members()
+	for i, part := range col.SplitRoundRobin(n) {
+		if _, err := eng.AddPeer(members[i], part); err != nil {
+			return nil, err
+		}
+	}
+
+	progress("connect: building %d docs over %d daemons (DFmax=%d, R=%d)", col.M(), n, cfg.DFMax, replicas)
+	buildStart := time.Now()
+	if err := eng.BuildIndex(); err != nil {
+		return nil, fmt.Errorf("cluster build: %w", err)
+	}
+	buildNanos := time.Since(buildStart).Nanoseconds()
+
+	before := eng.Traffic().Snapshot()
+	origin := members[0]
+	queryStart := time.Now()
+	for i, q := range queries {
+		if _, err := eng.Search(q, origin, 10); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	queryNanos := time.Since(queryStart).Nanoseconds()
+	after := eng.Traffic().Snapshot()
+
+	nq := float64(len(queries))
+	rep := &ConnectReport{
+		Nodes: n, Replicas: replicas, Docs: col.M(), Queries: len(queries), DFMax: cfg.DFMax,
+		BuildNanos:       buildNanos,
+		QueryNanosAvg:    float64(queryNanos) / nq,
+		QueryRPCsAvg:     float64(after.FetchRPCs-before.FetchRPCs) / nq,
+		QueryProbesAvg:   float64(after.ProbeMessages-before.ProbeMessages) / nq,
+		QueryPostingsAvg: float64(after.FetchedPosts-before.FetchedPosts) / nq,
+		FailoversTotal:   after.SearchFailovers - before.SearchFailovers,
+	}
+	st := tr.Stats()
+	rep.WireMessages, rep.WireBytes = st.Messages, st.Bytes
+	if tcp, ok := tr.(*transport.TCP); ok {
+		ps := tcp.PoolStats()
+		rep.PoolDials, rep.PoolReuses = ps.Dials, ps.Reuses
+	}
+	return rep, nil
+}
+
+// Fprint renders the connect bench report.
+func (r *ConnectReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Live cluster bench — %d hdknode daemons, R=%d, DFmax=%d, %d docs, %d queries\n",
+		r.Nodes, r.Replicas, r.DFMax, r.Docs, r.Queries)
+	fmt.Fprintf(w, "build %.2fms | query %.3fms avg, %.2f batched RPCs, %.2f probes, %.1f postings (failovers: %d)\n",
+		float64(r.BuildNanos)/1e6, r.QueryNanosAvg/1e6, r.QueryRPCsAvg, r.QueryProbesAvg, r.QueryPostingsAvg, r.FailoversTotal)
+	fmt.Fprintf(w, "wire: %d msgs, %d payload bytes | pool: %d dials, %d reuses\n",
+		r.WireMessages, r.WireBytes, r.PoolDials, r.PoolReuses)
+}

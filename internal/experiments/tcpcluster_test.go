@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/transport/cluster"
+)
+
+// TestTCPClusterE2E boots a real 5-process hdknode cluster on localhost
+// and runs the full deployment scenario: build over TCP, bit-identical
+// query parity against the in-process engine, a process crash at R=3
+// with zero recall loss, and a repair sweep back to full coverage. This
+// is the CI cluster-e2e gate; it is skipped under -short because it
+// compiles a binary and forks children.
+func TestTCPClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes; skipped in -short mode")
+	}
+	bin := os.Getenv("HDKNODE_BIN") // CI prebuilds the daemon once
+	if bin == "" {
+		var err error
+		if bin, err = cluster.BuildHDKNode(t.TempDir()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := DefaultTCPClusterOpts()
+
+	h := &cluster.Harness{Bin: bin, Stderr: os.Stderr}
+	if err := h.Start(opts.Nodes, opts.Replicas); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	tr := transport.NewTCP()
+	defer tr.Close()
+	rep, err := TCPCluster(tr, h.Addrs(), h.Kill, opts, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Fprint(os.Stderr)
+
+	if !rep.ExactParity() {
+		t.Errorf("%d/%d queries diverged from the in-process engine", rep.Mismatches, rep.Queries)
+	}
+	if rep.RecallAfterCrash != 1 {
+		t.Errorf("recall after crash = %.4f, want 1.0 at R=%d", rep.RecallAfterCrash, opts.Replicas)
+	}
+	if rep.FailoversPerQuery == 0 {
+		t.Error("no fetch batch failed over — the crash was not exercised by the query set")
+	}
+	if rep.UnderAfterCrash == 0 {
+		t.Error("audit reports full coverage immediately after losing a process")
+	}
+	if rep.UnderAfterRepair != 0 {
+		t.Errorf("%d keys under-replicated after repair, want 0", rep.UnderAfterRepair)
+	}
+	if rep.RecallAfterRepair != 1 {
+		t.Errorf("recall after repair = %.4f, want 1.0", rep.RecallAfterRepair)
+	}
+	if rep.PoolDials == 0 || rep.PoolReuses == 0 {
+		t.Errorf("pool counters empty (dials=%d reuses=%d) — pooled transport not exercised", rep.PoolDials, rep.PoolReuses)
+	}
+	// The pool must keep the dial count far below one per RPC.
+	if rep.PoolDials*10 > rep.WireMessages {
+		t.Errorf("%d dials for %d RPCs — connection pooling ineffective", rep.PoolDials, rep.WireMessages)
+	}
+}

@@ -39,6 +39,24 @@ type Churn interface {
 	RemoveNode(ID) bool
 }
 
+// RemoteStore is optionally implemented by members whose index store
+// lives in ANOTHER process: the index layer must not host a local store
+// for them — their services are reached through the fabric's RPC instead
+// (the hdknode daemon serves them over TCP). Handle on such a member
+// registers a caller-side service (e.g. the peer's notify handler), which
+// the fabric dispatches locally.
+type RemoteStore interface {
+	// RemoteStore reports that the member's store is hosted elsewhere.
+	RemoteStore() bool
+}
+
+// IsRemote reports whether a member's index store is hosted in another
+// process.
+func IsRemote(m Member) bool {
+	r, ok := m.(RemoteStore)
+	return ok && r.RemoteStore()
+}
+
 // MultiOwner is optionally implemented by fabrics that can name the R
 // distinct members jointly responsible for a key — the placement ground
 // truth behind replicated index storage. The primary owner (the member

@@ -38,6 +38,11 @@ func hashNode(addr string) ID {
 	return ID(binary.BigEndian.Uint64(sum[:8]))
 }
 
+// HashNode exposes the node-position hash so alternative Fabric
+// implementations (the multi-process cluster fabric) place members on
+// exactly the same ring as the in-process Chord overlay.
+func HashNode(addr string) ID { return hashNode(addr) }
+
 // between reports whether x lies in the half-open ring interval (a, b].
 func between(a, b, x ID) bool {
 	if a < b {

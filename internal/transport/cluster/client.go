@@ -1,0 +1,383 @@
+// Package cluster turns the in-process HDK engine into a real
+// distributed program: a daemon-side Server that exposes one peer's
+// index store and control plane over any transport (cmd/hdknode runs one
+// per OS process over pooled TCP), a client-side Fabric implementation
+// that lets the unchanged core.Engine build and query a cluster of such
+// processes, a replica.Inventory that drives churn repair through RPCs,
+// and a Harness that spawns and reaps hdknode child processes for
+// end-to-end tests.
+//
+// The client fabric is a full-membership, one-hop DHT: every member's
+// ring position is overlay.HashNode(addr) — the same placement as the
+// in-process Chord overlay — and key ownership resolves locally against
+// the membership table, so a query pays RPCs only for the index fetches
+// themselves (the per-hop network cost the super-peer routing literature
+// identifies as the real latency driver).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/overlay"
+	"repro/internal/replica"
+	"repro/internal/transport"
+)
+
+// Control-plane service names served by every cluster daemon.
+const (
+	ctrlInfo      = "cluster.info"
+	ctrlMembers   = "cluster.members"
+	ctrlJoin      = "cluster.join"
+	ctrlAnnounce  = "cluster.announce"
+	ctrlForget    = "cluster.forget"
+	ctrlConfigure = "cluster.configure"
+	ctrlMeta      = "cluster.meta"
+	ctrlShutdown  = "cluster.shutdown"
+)
+
+// maxTransientRetries mirrors the overlay fabrics' retry budget for
+// transport-level transient drops.
+const maxTransientRetries = 8
+
+// Member is a client-side stub for one daemon process: an overlay.Member
+// whose index store lives in that process (RemoteStore), plus a local
+// service registry for caller-side services — the engine registers each
+// peer's notify handler here, and the fabric dispatches those calls
+// without touching the network.
+type Member struct {
+	id   overlay.ID
+	addr string
+
+	mu       sync.RWMutex
+	services map[string]transport.Handler
+}
+
+// ID implements overlay.Member.
+func (m *Member) ID() overlay.ID { return m.id }
+
+// Addr implements overlay.Member.
+func (m *Member) Addr() string { return m.addr }
+
+// Handle implements overlay.Member by registering a CLIENT-side service:
+// the daemon's services are registered in its own process, so anything
+// registered here is served locally to the engine (peer notify handlers).
+func (m *Member) Handle(service string, h transport.Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.services[service] = h
+}
+
+// RemoteStore implements overlay.RemoteStore: the member's index store is
+// hosted by its daemon process, not by the engine.
+func (m *Member) RemoteStore() bool { return true }
+
+func (m *Member) localHandler(service string) (transport.Handler, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h, ok := m.services[service]
+	return h, ok
+}
+
+// Client is the thin cluster client: an overlay.Fabric over a set of
+// daemon processes. It implements MultiOwner (successor-list placement on
+// the HashNode ring, identical to the Chord overlay's ground truth) and
+// Churn (so core.Engine.FailNode works when a process dies).
+type Client struct {
+	tr transport.Transport
+
+	mu     sync.RWMutex
+	byID   map[overlay.ID]*Member
+	byAddr map[string]*Member
+	sorted []overlay.ID
+
+	lmu           sync.Mutex
+	loopbackMsgs  uint64
+	loopbackBytes uint64
+}
+
+// New builds a client fabric over the given daemon addresses.
+func New(tr transport.Transport, addrs []string) (*Client, error) {
+	c := &Client{
+		tr:     tr,
+		byID:   make(map[overlay.ID]*Member, len(addrs)),
+		byAddr: make(map[string]*Member, len(addrs)),
+	}
+	for _, a := range addrs {
+		if err := c.add(a); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Connect discovers the full membership from any one daemon and builds a
+// client fabric over it.
+func Connect(tr transport.Transport, seed string) (*Client, error) {
+	addrs, err := MembersOf(tr, seed)
+	if err != nil {
+		return nil, err
+	}
+	return New(tr, addrs)
+}
+
+// MembersOf asks one daemon for the cluster membership.
+func MembersOf(tr transport.Transport, addr string) ([]string, error) {
+	raw, err := transport.CallRetry(tr, addr, overlay.EncodeEnvelope(ctrlMembers, nil), maxTransientRetries)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: members of %s: %w", addr, err)
+	}
+	var addrs []string
+	if err := json.Unmarshal(raw, &addrs); err != nil {
+		return nil, fmt.Errorf("cluster: members of %s: %w", addr, err)
+	}
+	return addrs, nil
+}
+
+func (c *Client) add(addr string) error {
+	id := overlay.HashNode(addr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byID[id]; dup {
+		return fmt.Errorf("cluster: id collision for %q", addr)
+	}
+	m := &Member{id: id, addr: addr, services: make(map[string]transport.Handler)}
+	c.byID[id] = m
+	c.byAddr[addr] = m
+	c.sorted = append(c.sorted, id)
+	sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i] < c.sorted[j] })
+	return nil
+}
+
+// Members implements overlay.Fabric (ring order).
+func (c *Client) Members() []overlay.Member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]overlay.Member, len(c.sorted))
+	for i, id := range c.sorted {
+		out[i] = c.byID[id]
+	}
+	return out
+}
+
+// Size implements overlay.Fabric.
+func (c *Client) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sorted)
+}
+
+// successorLocked returns the index in sorted of the first id at or
+// after x, wrapping.
+func (c *Client) successorLocked(x overlay.ID) int {
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] >= x })
+	if i == len(c.sorted) {
+		i = 0
+	}
+	return i
+}
+
+// OwnerOf implements overlay.Fabric: the key's ring successor, resolved
+// locally from the membership table.
+func (c *Client) OwnerOf(key string) (overlay.Member, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.sorted) == 0 {
+		return nil, false
+	}
+	return c.byID[c.sorted[c.successorLocked(overlay.HashKey(key))]], true
+}
+
+// OwnersOf implements overlay.MultiOwner: the first r distinct members at
+// or after the key's ring position, primary first — exactly the Chord
+// overlay's successor-list placement, so a cluster and an in-process ring
+// over the same addresses agree on every replica set.
+func (c *Client) OwnersOf(key string, r int) []overlay.Member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.sorted) == 0 || r < 1 {
+		return nil
+	}
+	if r > len(c.sorted) {
+		r = len(c.sorted)
+	}
+	start := c.successorLocked(overlay.HashKey(key))
+	out := make([]overlay.Member, 0, r)
+	for k := 0; k < r; k++ {
+		out = append(out, c.byID[c.sorted[(start+k)%len(c.sorted)]])
+	}
+	return out
+}
+
+// Route implements overlay.Fabric. The client holds the full membership
+// table, so resolution is local and costs zero network hops — the
+// one-hop-DHT trade the deployment makes: O(N) membership state buys
+// O(1) routing messages per probe.
+func (c *Client) Route(from overlay.Member, key string) (overlay.Member, int, error) {
+	owner, ok := c.OwnerOf(key)
+	if !ok {
+		return nil, 0, fmt.Errorf("cluster: empty membership")
+	}
+	return owner, 0, nil
+}
+
+// CallService implements overlay.Fabric: services registered locally on
+// the member stub (peer notify handlers) dispatch in-process; everything
+// else is an RPC to the daemon bound at addr.
+func (c *Client) CallService(addr, service string, req []byte) ([]byte, error) {
+	c.mu.RLock()
+	m, ok := c.byAddr[addr]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: %w: %q", transport.ErrUnknownAddress, addr)
+	}
+	if h, local := m.localHandler(service); local {
+		resp, err := h(req)
+		if err != nil {
+			return nil, err
+		}
+		c.lmu.Lock()
+		c.loopbackMsgs++
+		c.loopbackBytes += uint64(len(req) + len(resp))
+		c.lmu.Unlock()
+		return resp, nil
+	}
+	return transport.CallRetry(c.tr, addr, overlay.EncodeEnvelope(service, req), maxTransientRetries)
+}
+
+// RemoveNode implements overlay.Churn: the client drops a (crashed or
+// departed) daemon from its membership view, shrinking every replica set
+// accordingly. The daemon process itself is not contacted.
+func (c *Client) RemoveNode(id overlay.ID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.byID[id]
+	if !ok {
+		return false
+	}
+	delete(c.byID, id)
+	delete(c.byAddr, m.addr)
+	for i, v := range c.sorted {
+		if v == id {
+			c.sorted = append(c.sorted[:i], c.sorted[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// TransportStats returns the traffic counters: wire traffic from the
+// underlying transport plus the client-side loopback dispatches.
+func (c *Client) TransportStats() transport.Stats {
+	st := c.tr.Stats()
+	c.lmu.Lock()
+	st.Messages += c.loopbackMsgs
+	st.Bytes += c.loopbackBytes
+	c.lmu.Unlock()
+	return st
+}
+
+// Forget broadcasts a dead member's address to every member of THIS
+// client's view, removing it from the daemons' bootstrap membership so
+// future clients' discovery no longer returns the dead address. Call it
+// after RemoveNode/FailNode when a process is gone for good — daemon
+// views are otherwise grow-only.
+func (c *Client) Forget(addr string) error {
+	for _, m := range c.Members() {
+		if m.Addr() == addr {
+			continue
+		}
+		if _, err := c.CallService(m.Addr(), ctrlForget, []byte(addr)); err != nil {
+			return fmt.Errorf("cluster: forget %s at %s: %w", addr, m.Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Configure ships the engine configuration to every daemon, which creates
+// its store server (idempotent: re-sending an identical configuration is
+// a no-op, a different one is rejected). Must run before BuildIndex.
+func (c *Client) Configure(cfg core.Config) error {
+	payload, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range c.Members() {
+		if _, err := c.CallService(m.Addr(), ctrlConfigure, payload); err != nil {
+			return fmt.Errorf("cluster: configure %s: %w", m.Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Meta fetches the configuration a daemon was configured with.
+func (c *Client) Meta(addr string) (core.Config, error) {
+	var cfg core.Config
+	raw, err := c.CallService(addr, ctrlMeta, nil)
+	if err != nil {
+		return cfg, err
+	}
+	err = json.Unmarshal(raw, &cfg)
+	return cfg, err
+}
+
+// Shutdown asks one daemon to exit gracefully.
+func (c *Client) Shutdown(addr string) error {
+	_, err := c.CallService(addr, ctrlShutdown, nil)
+	return err
+}
+
+// NodeStoreStats pairs a daemon address with its store footprint.
+type NodeStoreStats struct {
+	Addr  string
+	Stats core.StoreStats
+}
+
+// StoreStats sweeps every daemon's SvcStats, in ring order.
+func (c *Client) StoreStats() ([]NodeStoreStats, error) {
+	var out []NodeStoreStats
+	for _, m := range c.Members() {
+		raw, err := c.CallService(m.Addr(), core.SvcStats, nil)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stats of %s: %w", m.Addr(), err)
+		}
+		st, err := core.DecodeStoreStats(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stats of %s: %w", m.Addr(), err)
+		}
+		out = append(out, NodeStoreStats{Addr: m.Addr(), Stats: st})
+	}
+	return out, nil
+}
+
+// Inventory is the repair sweep's view of the daemon-hosted stores:
+// core.RemoteInventory over this client's service calls (one shared
+// definition of the inventory wire contract — the engine's own repair
+// sweep uses the same type for its remote members).
+func (c *Client) Inventory() replica.Inventory {
+	return core.RemoteInventory{Call: c.CallService}
+}
+
+// Repairer returns a churn repairer for the cluster at replication
+// factor r: it sweeps the daemons' stores over RPC and re-replicates
+// under-replicated keys daemon-to-daemon through the client.
+func (c *Client) Repairer(r int) *replica.Repairer {
+	return &replica.Repairer{Fabric: c, Inv: c.Inventory(), R: r}
+}
+
+// Audit runs a read-only replica coverage sweep at factor r.
+func (c *Client) Audit(r int) replica.AuditStats {
+	return replica.Audit(c, c.Inventory(), r)
+}
+
+// Compile-time interface checks.
+var (
+	_ overlay.Fabric      = (*Client)(nil)
+	_ overlay.MultiOwner  = (*Client)(nil)
+	_ overlay.Churn       = (*Client)(nil)
+	_ overlay.Member      = (*Member)(nil)
+	_ overlay.RemoteStore = (*Member)(nil)
+)

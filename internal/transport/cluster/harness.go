@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Harness spawns and reaps a localhost cluster of hdknode child
+// processes for end-to-end tests and CI: node 0 listens on an ephemeral
+// port, every later node joins through it, and Start returns once the
+// membership view has converged on every daemon. Each daemon's stdout is
+// parsed for the "hdknode listening on <addr>" banner.
+type Harness struct {
+	// Bin is the hdknode binary path (see BuildHDKNode).
+	Bin string
+	// Stderr, when non-nil, receives every daemon's stderr (test logs).
+	Stderr *os.File
+
+	procs []*exec.Cmd
+	addrs []string
+	dead  []bool
+}
+
+// BuildHDKNode compiles cmd/hdknode into dir and returns the binary
+// path. It must run from within the module (any package directory works,
+// which is where `go test` runs).
+func BuildHDKNode(dir string) (string, error) {
+	bin := filepath.Join(dir, "hdknode")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/hdknode")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("cluster: build hdknode: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// startTimeout bounds one daemon's time-to-banner and the whole
+// membership convergence wait.
+const startTimeout = 30 * time.Second
+
+// Start launches n daemons with the given replication factor and waits
+// for membership convergence. extraArgs are appended to every daemon's
+// command line.
+func (h *Harness) Start(n, replicas int, extraArgs ...string) error {
+	if n < 1 {
+		return fmt.Errorf("cluster: need at least one node")
+	}
+	for i := 0; i < n; i++ {
+		args := []string{"-listen", "127.0.0.1:0", "-replicas", fmt.Sprint(replicas)}
+		if i > 0 {
+			args = append(args, "-join", h.addrs[0])
+		}
+		args = append(args, extraArgs...)
+		cmd := exec.Command(h.Bin, args...)
+		cmd.Stderr = h.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("cluster: start node %d: %w", i, err)
+		}
+		h.procs = append(h.procs, cmd)
+		h.dead = append(h.dead, false)
+		addr, err := awaitBanner(stdout)
+		if err != nil {
+			h.Stop()
+			return fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		h.addrs = append(h.addrs, addr)
+	}
+	if err := h.awaitConvergence(n); err != nil {
+		h.Stop()
+		return err
+	}
+	return nil
+}
+
+// awaitBanner scans a daemon's stdout for the listening banner.
+func awaitBanner(r io.Reader) (string, error) {
+	type result struct {
+		addr string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "hdknode listening on "); ok {
+				ch <- result{addr: strings.TrimSpace(rest)}
+				// Keep draining stdout so the child never blocks on a
+				// full pipe.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		ch <- result{err: fmt.Errorf("stdout closed before listen banner (%v)", sc.Err())}
+	}()
+	select {
+	case res := <-ch:
+		return res.addr, res.err
+	case <-time.After(startTimeout):
+		return "", fmt.Errorf("no listen banner within %v", startTimeout)
+	}
+}
+
+// awaitConvergence polls every daemon until each reports n members.
+func (h *Harness) awaitConvergence(n int) error {
+	tr := transport.NewTCP()
+	defer tr.Close()
+	deadline := time.Now().Add(startTimeout)
+	for {
+		converged := true
+		for _, addr := range h.addrs {
+			members, err := MembersOf(tr, addr)
+			if err != nil || len(members) != n {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: membership did not converge to %d within %v", n, startTimeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Addrs returns the daemons' listen addresses in start order.
+func (h *Harness) Addrs() []string { return append([]string(nil), h.addrs...) }
+
+// Kill crashes daemon i (SIGKILL) and reaps it — the ungraceful
+// departure the availability scenario simulates.
+func (h *Harness) Kill(i int) error {
+	if i < 0 || i >= len(h.procs) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	if h.dead[i] {
+		return nil
+	}
+	h.dead[i] = true
+	if err := h.procs[i].Process.Kill(); err != nil {
+		return err
+	}
+	h.procs[i].Wait() // reap; exit error expected after SIGKILL
+	return nil
+}
+
+// Stop terminates every live daemon (SIGTERM, then SIGKILL after a grace
+// period) and reaps all children.
+func (h *Harness) Stop() {
+	for i, cmd := range h.procs {
+		if h.dead[i] {
+			continue
+		}
+		h.dead[i] = true
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func(c *exec.Cmd) {
+			c.Wait()
+			close(done)
+		}(cmd)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/overlay"
+	"repro/internal/transport"
+)
+
+// shutdownGrace is how long a cluster.shutdown RPC waits before
+// signaling Done, so the (local loopback) response write beats the
+// transport teardown. This is a timer, not a happens-after edge: under
+// extreme scheduling delay the client can still see a connection reset
+// for a shutdown that succeeded — a cosmetic error with no state at
+// risk, accepted in exchange for keeping the transport handler contract
+// free of post-write hooks. Signal-based shutdown (what the harness and
+// operators use) does not involve this path.
+const shutdownGrace = 200 * time.Millisecond
+
+// Server is the daemon side of the cluster: one process's membership
+// identity plus its share of the replicated index. It implements
+// overlay.Member, so core.StoreServer.Attach registers the exact same
+// index handlers the in-process engine uses; the control services
+// (membership, configuration, shutdown) are built in.
+//
+// Membership is bootstrap-time state: a starting daemon joins through
+// any existing member, which hands it the current view, and announces
+// itself to everyone in it. Daemons never route by membership — only
+// clients do — so the view's one job is letting a client discover the
+// whole cluster from a single address. The view grows on join/announce
+// and shrinks only through cluster.forget (Client.Forget), which an
+// operator broadcasts after a process dies for good.
+type Server struct {
+	tr       transport.Transport
+	addr     string
+	id       overlay.ID
+	replicas int
+
+	mu         sync.Mutex
+	members    map[string]struct{}
+	store      *core.StoreServer
+	configJSON []byte
+
+	smu      sync.RWMutex
+	services map[string]transport.Handler
+
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Info is a daemon's self-description, served as JSON by cluster.info.
+type Info struct {
+	Addr       string `json:"addr"`
+	ID         string `json:"id"` // ring position, hex
+	Replicas   int    `json:"replicas"`
+	Configured bool   `json:"configured"`
+	Members    int    `json:"members"`
+}
+
+// NewServer binds a daemon on the transport (pass "127.0.0.1:0" for an
+// ephemeral port) and returns it with a single-member view of itself.
+// replicas is the replication factor the operator intends for the
+// cluster; it is advertised through cluster.info so clients can adopt it.
+func NewServer(tr transport.Transport, listen string, replicas int) (*Server, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	s := &Server{
+		tr:       tr,
+		replicas: replicas,
+		members:  make(map[string]struct{}),
+		services: make(map[string]transport.Handler),
+		done:     make(chan struct{}),
+	}
+	bound, err := tr.Listen(listen, s.dispatch)
+	if err != nil {
+		return nil, err
+	}
+	s.addr = bound
+	s.id = overlay.HashNode(bound)
+	s.members[bound] = struct{}{}
+	return s, nil
+}
+
+// ID implements overlay.Member.
+func (s *Server) ID() overlay.ID { return s.id }
+
+// Addr implements overlay.Member.
+func (s *Server) Addr() string { return s.addr }
+
+// Handle implements overlay.Member: core.StoreServer registers the index
+// services through this.
+func (s *Server) Handle(service string, h transport.Handler) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	s.services[service] = h
+}
+
+// Replicas returns the advertised replication factor.
+func (s *Server) Replicas() int { return s.replicas }
+
+// Done is closed when a shutdown was requested (cluster.shutdown RPC or
+// Shutdown call); the daemon main waits on it.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Shutdown signals Done. Closing the transport is the caller's job.
+func (s *Server) Shutdown() { s.stopOnce.Do(func() { close(s.done) }) }
+
+// Join bootstraps this daemon into an existing cluster through any
+// member: the seed hands back its post-join view, and the joiner
+// announces itself to every other member in it. Serial bootstrap —
+// concurrent joins through different seeds are not merged.
+func (s *Server) Join(seed string) error {
+	raw, err := transport.CallRetry(s.tr, seed, overlay.EncodeEnvelope(ctrlJoin, []byte(s.addr)), maxTransientRetries)
+	if err != nil {
+		return fmt.Errorf("cluster: join via %s: %w", seed, err)
+	}
+	var list []string
+	if err := json.Unmarshal(raw, &list); err != nil {
+		return fmt.Errorf("cluster: join via %s: %w", seed, err)
+	}
+	for _, a := range list {
+		s.addMember(a)
+	}
+	for _, a := range list {
+		if a == s.addr || a == seed {
+			continue
+		}
+		// Best-effort: the seed's view is grow-only, so it may still
+		// name members that crashed and were never Forgotten. A dead
+		// address must not block cluster growth — the joiner announces
+		// to everyone it can reach and skips the rest (a member that is
+		// merely slow still learns the joiner from a client's discovery
+		// going through the seed).
+		transport.CallRetry(s.tr, a, overlay.EncodeEnvelope(ctrlAnnounce, []byte(s.addr)), maxTransientRetries)
+	}
+	return nil
+}
+
+func (s *Server) addMember(addr string) {
+	if addr == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[addr] = struct{}{}
+}
+
+func (s *Server) memberList() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.members))
+	for a := range s.members {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dispatch is the daemon's transport handler: control services are built
+// in, everything else resolves against the registered index services.
+func (s *Server) dispatch(req []byte) ([]byte, error) {
+	service, payload, err := overlay.DecodeEnvelope(req)
+	if err != nil {
+		return nil, err
+	}
+	switch service {
+	case ctrlInfo:
+		return s.handleInfo()
+	case ctrlMembers:
+		return json.Marshal(s.memberList())
+	case ctrlJoin:
+		s.addMember(string(payload))
+		return json.Marshal(s.memberList())
+	case ctrlAnnounce:
+		s.addMember(string(payload))
+		return nil, nil
+	case ctrlForget:
+		s.mu.Lock()
+		delete(s.members, string(payload))
+		s.mu.Unlock()
+		return nil, nil
+	case ctrlConfigure:
+		return s.handleConfigure(payload)
+	case ctrlMeta:
+		s.mu.Lock()
+		meta := s.configJSON
+		s.mu.Unlock()
+		if meta == nil {
+			return nil, fmt.Errorf("cluster: %s not configured", s.addr)
+		}
+		return meta, nil
+	case ctrlShutdown:
+		// Signal Done only after this response frame has had time to
+		// flush: the daemon main closes the transport on Done, and
+		// closing first would turn a successful shutdown into a
+		// connection-reset error at the client.
+		time.AfterFunc(shutdownGrace, s.Shutdown)
+		return nil, nil
+	}
+	s.smu.RLock()
+	h, ok := s.services[service]
+	s.smu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: node %s: unknown service %q (configured: %v)", s.addr, service, s.configured())
+	}
+	return h(payload)
+}
+
+func (s *Server) configured() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store != nil
+}
+
+func (s *Server) handleInfo() ([]byte, error) {
+	s.mu.Lock()
+	info := Info{
+		Addr:       s.addr,
+		ID:         fmt.Sprintf("%016x", uint64(s.id)),
+		Replicas:   s.replicas,
+		Configured: s.store != nil,
+		Members:    len(s.members),
+	}
+	s.mu.Unlock()
+	return json.Marshal(info)
+}
+
+// handleConfigure creates the store server from the client's engine
+// configuration. Idempotent: re-sending the identical configuration is
+// accepted (a client re-connecting, or a configure broadcast racing a
+// retry); a different one is rejected — reconfiguring a live store would
+// silently reclassify the index.
+func (s *Server) handleConfigure(payload []byte) ([]byte, error) {
+	var cfg core.Config
+	if err := json.Unmarshal(payload, &cfg); err != nil {
+		return nil, fmt.Errorf("cluster: bad configuration: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		if !bytes.Equal(s.configJSON, payload) {
+			return nil, fmt.Errorf("cluster: %s already configured differently", s.addr)
+		}
+		if s.store.Populated() {
+			// A second client re-sending the (deterministically
+			// identical) configuration is about to re-run BuildIndex
+			// against stores that already hold the corpus — inserts are
+			// additive (df would double and flip HDKs to NDKs), so this
+			// must fail loudly, not silently corrupt the index.
+			return nil, fmt.Errorf("cluster: %s already holds a built index; restart the daemons to rebuild", s.addr)
+		}
+		return nil, nil // idempotent re-send during bootstrap
+	}
+	store, err := core.NewStoreServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	store.Attach(s) // registers services under smu, not s.mu
+	s.store = store
+	s.configJSON = append([]byte(nil), payload...)
+	return nil, nil
+}
+
+// Store returns the daemon's store server (nil before configuration).
+func (s *Server) Store() *core.StoreServer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
+}
+
+// FetchInfo asks a daemon for its self-description.
+func FetchInfo(tr transport.Transport, addr string) (Info, error) {
+	var info Info
+	raw, err := transport.CallRetry(tr, addr, overlay.EncodeEnvelope(ctrlInfo, nil), maxTransientRetries)
+	if err != nil {
+		return info, err
+	}
+	err = json.Unmarshal(raw, &info)
+	return info, err
+}
+
+// Compile-time check: the server is an overlay member (store attachment
+// target).
+var _ overlay.Member = (*Server)(nil)
