@@ -10,10 +10,21 @@
 //	hdknode -listen 127.0.0.1:7001                     # first node
 //	hdknode -listen 127.0.0.1:0 -join 127.0.0.1:7001   # every further node
 //
-// The daemon prints "hdknode listening on <addr>" once bound (the
-// cluster harness and shell scripts parse this), then serves until
-// SIGINT/SIGTERM or a cluster.shutdown RPC, draining in-flight
-// connections before exiting.
+// With -data the daemon is durable: every index mutation is written
+// through to an op log under the data directory (fsync policy via
+// -fsync), the log is periodically compacted into a full-store snapshot,
+// and a graceful shutdown seals the state into a fresh snapshot. A
+// restarted daemon reloads its store fraction from disk, rejoins through
+// -join, pulls the delta it missed from its replica peers (a scoped
+// catch-up, not a rebuild), and only then prints its banner:
+//
+//	hdknode -listen 127.0.0.1:7001 -data /var/lib/hdk/node0 \
+//	    -join 127.0.0.1:7002   # warm restart: snapshot + log + catch-up
+//
+// The daemon prints "hdknode listening on <addr>" once bound AND ready
+// to serve (the cluster harness and shell scripts parse this), then
+// serves until SIGINT/SIGTERM or a cluster.shutdown RPC, draining
+// in-flight connections before exiting.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/transport"
 	"repro/internal/transport/cluster"
 )
@@ -33,19 +45,46 @@ func main() {
 	join := flag.String("join", "", "address of any existing cluster member to join through")
 	replicas := flag.Int("replicas", 1, "replication factor this cluster is intended to run at (advertised to clients)")
 	callTimeout := flag.Duration("call-timeout", 30*time.Second, "per-RPC deadline for outbound calls (join/announce)")
+	dataDir := flag.String("data", "", "durable data directory (empty: index lives in RAM only)")
+	fsync := flag.String("fsync", "always", "op-log fsync policy with -data: always|batch|never")
+	compactBytes := flag.Int64("compact-bytes", 0, "op-log size triggering snapshot compaction (0: 4 MiB default, <0: only on shutdown)")
 	flag.Parse()
 
-	if err := run(*listen, *join, *replicas, *callTimeout); err != nil {
+	if err := run(*listen, *join, *replicas, *callTimeout, *dataDir, *fsync, *compactBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "hdknode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, join string, replicas int, callTimeout time.Duration) error {
+func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, fsync string, compactBytes int64) error {
+	var dur *durable.Store
+	if dataDir != "" {
+		policy, err := durable.ParsePolicy(fsync)
+		if err != nil {
+			return err
+		}
+		if dur, err = durable.Open(dataDir, durable.Options{Fsync: policy, CompactBytes: compactBytes}); err != nil {
+			return err
+		}
+	}
+
 	tr := transport.NewTCPConfig(transport.TCPConfig{CallTimeout: callTimeout})
 	srv, err := cluster.NewServer(tr, listen, replicas)
 	if err != nil {
 		return err
+	}
+	if dur != nil {
+		// Replay snapshot + op log BEFORE joining: a warm daemon
+		// announces itself already holding its restored key inventory.
+		opsReplayed, torn := len(dur.Ops()), dur.TruncatedOps()
+		if err := srv.EnableDurability(dur); err != nil {
+			tr.Close()
+			return err
+		}
+		if srv.Warm() {
+			fmt.Fprintf(os.Stderr, "hdknode %s: warm restart from %s (generation %d, %d ops replayed, %d torn records dropped)\n",
+				srv.Addr(), dataDir, dur.Generation(), opsReplayed, torn)
+		}
 	}
 	if join != "" {
 		if err := srv.Join(join); err != nil {
@@ -53,11 +92,25 @@ func run(listen, join string, replicas int, callTimeout time.Duration) error {
 			return err
 		}
 	}
+	if srv.Warm() {
+		// Pull the delta missed while down from the replica peers; only
+		// then advertise readiness. A failed catch-up is not fatal — the
+		// daemon serves its restored (possibly slightly stale) copies and
+		// the operator can run a full repair — but it is loud.
+		st, err := srv.CatchUp()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdknode %s: warm-rejoin catch-up failed: %v\n", srv.Addr(), err)
+		} else {
+			fmt.Fprintf(os.Stderr, "hdknode %s: catch-up: %d keys owned, %d stale, %d copies pulled\n",
+				srv.Addr(), st.KeysOwned, st.Stale, st.CopiesPulled)
+		}
+	}
+
 	// The banner goes to stdout (machine-parsed); everything else to
 	// stderr.
 	fmt.Printf("hdknode listening on %s\n", srv.Addr())
 	os.Stdout.Sync()
-	fmt.Fprintf(os.Stderr, "hdknode %s: serving (replicas=%d, join=%q)\n", srv.Addr(), replicas, join)
+	fmt.Fprintf(os.Stderr, "hdknode %s: serving (replicas=%d, join=%q, data=%q)\n", srv.Addr(), replicas, join, dataDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -66,6 +119,12 @@ func run(listen, join string, replicas int, callTimeout time.Duration) error {
 		fmt.Fprintf(os.Stderr, "hdknode %s: %v, shutting down\n", srv.Addr(), s)
 	case <-srv.Done():
 		fmt.Fprintf(os.Stderr, "hdknode %s: shutdown requested, exiting\n", srv.Addr())
+	}
+	// Graceful exit: seal the durable state (log compacted into a fresh
+	// snapshot) before tearing the transport down. SIGKILL skips this,
+	// which is exactly what the op log is for.
+	if err := srv.PersistShutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "hdknode %s: persist on shutdown: %v\n", srv.Addr(), err)
 	}
 	return tr.Close()
 }

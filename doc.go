@@ -18,10 +18,15 @@
 // deadline-aware transport with per-address idle connection reuse — and
 // internal/transport/cluster provides the one-hop client fabric that
 // lets the unchanged engine build and query a cluster of separate OS
-// processes (hdksearch -connect, hdkbench -connect). See README.md for
+// processes (hdksearch -connect, hdkbench -connect). internal/durable
+// gives the daemons disk-backed stores (CRC-guarded snapshots plus an
+// append-only op log with threshold compaction), so a killed process
+// restarts warm: it restores its store fraction from its data directory,
+// rejoins on its original ring position, and pulls only the delta it
+// missed instead of re-indexing or re-replicating. See README.md for
 // build, test and benchmark instructions, an overview of the batched
-// query path, the replication/failure model, and "Running a real
-// cluster".
+// query path, the replication/failure model, "Running a real cluster",
+// and "Durability".
 //
 // The root package only anchors the repository-level benchmarks in
 // bench_test.go; the implementation lives under internal/.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/postings"
 	"repro/internal/rank"
 	"repro/internal/replica"
+	"repro/internal/transport"
 )
 
 // Engine coordinates the HDK engine over an overlay network: it owns the
@@ -154,7 +156,7 @@ func (e *Engine) attachStore(node overlay.Member) {
 	}
 	store := newHDKStore(&e.cfg)
 	e.stores[node.ID()] = store
-	attachIndexServices(node, store)
+	attachIndexServices(node, store, nil)
 }
 
 // classifySweepFanout bounds concurrent classification-sweep RPCs when
@@ -396,6 +398,13 @@ func (e *Engine) classifyAndNotify(s int) error {
 			}
 			payload := postings.EncodeKeyedBatch(nil, batch)
 			if _, err := e.net.CallService(addr, svcNotify, payload); err != nil {
+				if errors.Is(err, transport.ErrUnknownAddress) {
+					// The contributor departed the fabric (crashed member
+					// removed by FailNode): its documents are out of the
+					// build set and nothing is listening — skip, exactly
+					// as the in-process overlay drops mail to the departed.
+					continue
+				}
 				return fmt.Errorf("core: notify %s: %w", addr, err)
 			}
 			e.traffic.NotifyMessages.Add(uint64(len(keys)))
@@ -808,12 +817,12 @@ func (v engineInventory) Keys(m overlay.Member) []string {
 	return v.remote().Keys(m)
 }
 
-func (v engineInventory) Fingerprint(m overlay.Member, key string) (int, bool) {
+func (v engineInventory) Fingerprint(m overlay.Member, key string) (replica.Fingerprint, bool) {
 	if st := v.store(m); st != nil {
-		return st.entryDF(key)
+		return st.entryFingerprint(key)
 	}
 	if !overlay.IsRemote(m) {
-		return 0, false
+		return replica.Fingerprint{}, false
 	}
 	return v.remote().Fingerprint(m, key)
 }

@@ -461,7 +461,7 @@ func (p *Peer) insertAll(cands map[Key]*candAcc, size int) (uint64, error) {
 	}
 	for _, addr := range addrs {
 		req := encodeInsertReq(nil, p.node.Addr(), byOwner[addr])
-		resp, err := p.eng.net.CallService(addr, svcInsert, req)
+		resp, err := p.eng.net.CallService(addr, SvcInsert, req)
 		if err != nil {
 			return 0, fmt.Errorf("core: insert batch at %s: %w", addr, err)
 		}

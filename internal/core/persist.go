@@ -41,7 +41,7 @@ func (e *Engine) ExportIndex(w io.Writer) error {
 	}
 	type rec struct {
 		key string
-		df  int
+		fp  replica.Fingerprint
 		m   postings.KeyedMessage
 	}
 	var recs []rec
@@ -50,16 +50,18 @@ func (e *Engine) ExportIndex(w io.Writer) error {
 		store.mu.Lock()
 		for key, ent := range store.entries {
 			// Replicated keys appear in R stores; snapshot the freshest
-			// copy (highest df — the same fingerprint the repair sweep
-			// uses), so a divergent partial replica that has not been
-			// repaired yet can never leak into the snapshot.
+			// copy (best fingerprint — the same ordering the repair sweep
+			// uses, checksum tiebreak included), so a divergent partial
+			// replica that has not been repaired yet can never leak into
+			// the snapshot, and equal-df divergent copies resolve
+			// deterministically regardless of store iteration order.
 			if !ent.classified {
 				continue
 			}
 			aux := (uint64(ent.df)<<3|uint64(ent.size))<<2 | uint64(ent.status)
-			r := rec{key: key, df: ent.df, m: postings.KeyedMessage{Key: key, Aux: aux, List: ent.list}}
+			r := rec{key: key, fp: fingerprintEntry(ent), m: postings.KeyedMessage{Key: key, Aux: aux, List: ent.list}}
 			if i, ok := seen[key]; ok {
-				if ent.df > recs[i].df {
+				if r.fp.Better(recs[i].fp) {
 					recs[i] = r
 				}
 				continue

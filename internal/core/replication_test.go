@@ -381,17 +381,18 @@ func TestRepairHealsDivergedReplica(t *testing.T) {
 	if !audit.FullyReplicated() {
 		t.Fatalf("repair left holes after churn+update: %+v", audit)
 	}
-	// Every key's copies must agree on df across its whole replica set —
-	// a diverged partial replica would serve wrong scores on failover.
+	// Every key's copies must agree on the full fingerprint (df AND
+	// content checksum) across its whole replica set — a diverged partial
+	// replica would serve wrong scores on failover.
 	for _, m := range eng.net.Members() {
 		store := eng.stores[m.ID()]
 		for _, key := range store.keyList() {
-			df, _ := store.entryDF(key)
+			fp, _ := store.entryFingerprint(key)
 			for _, owner := range replica.Owners(eng.net, key, eng.replicas()) {
-				odf, ok := eng.stores[owner.ID()].entryDF(key)
-				if !ok || odf != df {
-					t.Fatalf("key %q: replica df %d (present %v) != df %d — diverged copy survived repair",
-						key, odf, ok, df)
+				ofp, ok := eng.stores[owner.ID()].entryFingerprint(key)
+				if !ok || ofp != fp {
+					t.Fatalf("key %q: replica fingerprint %+v (present %v) != %+v — diverged copy survived repair",
+						key, ofp, ok, fp)
 				}
 			}
 		}

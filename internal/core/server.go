@@ -4,10 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/durable"
 	"repro/internal/overlay"
 	"repro/internal/postings"
 	"repro/internal/replica"
+	"repro/internal/transport"
 )
 
 // This file hosts the server side of the HDK index as a standalone unit:
@@ -36,13 +39,36 @@ const (
 	SvcStats = "hdk.stats"
 )
 
+// Durable record kinds the store server logs and replays. The "op"
+// kinds carry the raw mutation RPC payload — replay re-executes the
+// exact handler logic, so a replayed store is byte-identical to the one
+// that logged the ops; DurableEntry carries a (key, canonical entry
+// export) snapshot cell.
+const (
+	DurableOpInsert   = "insert"
+	DurableOpClassify = "classify"
+	DurableOpRepair   = "repair"
+	DurableEntry      = "entry"
+)
+
 // StoreServer hosts one overlay member's fraction of the global HDK
 // index outside an Engine — the daemon-side building block of the
 // multi-process deployment: cmd/hdknode creates one per process and
-// attaches it to its cluster membership identity.
+// attaches it to its cluster membership identity. With persistence
+// enabled (EnablePersistence) every index mutation is written through to
+// a durable op log and periodically compacted into a full-store
+// snapshot, so a restarted process can rebuild its exact store fraction
+// from disk instead of re-running the distributed build.
 type StoreServer struct {
 	cfg   Config
 	store *hdkStore
+
+	// Persistence state. pmu orders mutations+appends (read side)
+	// against compaction (write side): a mutation is fully in either the
+	// pre-compaction log or the snapshot, never both and never neither.
+	pmu       sync.RWMutex
+	dur       *durable.Store
+	durHeader func(emit func(kind string, payload []byte) error) error
 }
 
 // NewStoreServer validates the configuration and creates an empty store.
@@ -58,8 +84,117 @@ func NewStoreServer(cfg Config) (*StoreServer, error) {
 	return s, nil
 }
 
-// Attach registers every index service on the member.
-func (s *StoreServer) Attach(m overlay.Member) { attachIndexServices(m, s.store) }
+// EnablePersistence attaches a durable store: every subsequent mutation
+// served through Attach'd handlers is appended to its op log, and the
+// log is compacted into a fresh full-store snapshot when it crosses the
+// durable store's threshold. header, when non-nil, contributes leading
+// snapshot records (the cluster daemon persists its configuration
+// payload this way, so one file sequence restores the whole process
+// state). Call before Attach and before serving traffic.
+func (s *StoreServer) EnablePersistence(d *durable.Store, header func(emit func(kind string, payload []byte) error) error) {
+	s.pmu.Lock()
+	s.dur = d
+	s.durHeader = header
+	s.pmu.Unlock()
+}
+
+// ReplayRecord applies one recovered durable record: a snapshot entry
+// cell installs the entry verbatim; an op record re-executes the logged
+// mutation RPC. Nothing is re-logged — the records already are the log.
+func (s *StoreServer) ReplayRecord(kind string, payload []byte) error {
+	switch kind {
+	case DurableEntry:
+		key, blob, err := decodeEntryRecord(payload)
+		if err != nil {
+			return err
+		}
+		return s.store.restoreEntry(key, blob)
+	case DurableOpInsert:
+		_, err := storeInsert(s.store, payload)
+		return err
+	case DurableOpClassify:
+		_, err := storeClassify(s.store, payload)
+		return err
+	case DurableOpRepair:
+		_, err := storeRepair(s.store, payload)
+		return err
+	}
+	return fmt.Errorf("core: unknown durable record kind %q", kind)
+}
+
+// CompactNow forces the op log into a fresh snapshot (the
+// graceful-shutdown path: a warm restart then replays zero ops). A no-op
+// without persistence.
+func (s *StoreServer) CompactNow() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.dur == nil {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// maybeCompact folds the log into a snapshot once it crosses the
+// threshold. Called after appends, outside the read lock.
+func (s *StoreServer) maybeCompact() {
+	if s.dur == nil || !s.dur.ShouldCompact() {
+		return
+	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if !s.dur.ShouldCompact() { // raced with another compaction
+		return
+	}
+	// A failed compaction is non-fatal: the op log remains authoritative
+	// and keeps growing, and the next threshold crossing retries.
+	s.compactLocked()
+}
+
+func (s *StoreServer) compactLocked() error {
+	return s.dur.Compact(func(emit func(kind string, payload []byte) error) error {
+		if s.durHeader != nil {
+			if err := s.durHeader(emit); err != nil {
+				return err
+			}
+		}
+		return s.store.exportAll(func(key string, blob []byte) error {
+			return emit(DurableEntry, encodeEntryRecord(key, blob))
+		})
+	})
+}
+
+// runLogged executes one mutating handler body and, on success, appends
+// its raw request to the durable op log under the read side of pmu — so
+// a concurrent compaction can never observe a mutation without its log
+// record or vice versa. A log-append failure fails the RPC loudly: the
+// in-memory store is then ahead of disk, and the operator must treat the
+// data directory as stale (restart the daemon) rather than trust it.
+func (s *StoreServer) runLogged(kind string, req []byte, body func([]byte) ([]byte, error)) ([]byte, error) {
+	s.pmu.RLock()
+	resp, err := body(req)
+	if err == nil && s.dur != nil {
+		if lerr := s.dur.Append(kind, req); lerr != nil {
+			s.pmu.RUnlock()
+			return nil, fmt.Errorf("core: durable append after %s: %w", kind, lerr)
+		}
+	}
+	s.pmu.RUnlock()
+	if err == nil {
+		s.maybeCompact()
+	}
+	return resp, err
+}
+
+// persistHooks couples attachIndexServices' mutating handlers to a
+// write-ahead-style op log. A nil hooks value attaches the plain
+// in-memory handlers (the Engine's in-process stores).
+type persistHooks interface {
+	runLogged(kind string, req []byte, body func([]byte) ([]byte, error)) ([]byte, error)
+}
+
+// Attach registers every index service on the member, with mutations
+// written through to the durable log when persistence is enabled.
+func (s *StoreServer) Attach(m overlay.Member) { attachIndexServices(m, s.store, s) }
 
 // Config returns the configuration the store classifies and scores with.
 func (s *StoreServer) Config() Config { return s.cfg }
@@ -68,32 +203,74 @@ func (s *StoreServer) Config() Config { return s.cfg }
 // build already ran against it.
 func (s *StoreServer) Populated() bool { return s.store.keyCount() > 0 }
 
+// KeyCount returns the number of resident keys.
+func (s *StoreServer) KeyCount() int { return s.store.keyCount() }
+
 // StoredBySize returns resident posting and key counts per key size.
 func (s *StoreServer) StoredBySize() (posts, keys []int) {
 	return s.store.storedBySize(MaxKeySize)
 }
 
+// storeInsert is the hdk.insert handler body. The response reports, for
+// keys already classified, their global status: new contributors of
+// existing NDKs must learn the classification to drive their expansions.
+func storeInsert(store *hdkStore, req []byte) ([]byte, error) {
+	contributor, batch, err := decodeInsertReq(req)
+	if err != nil {
+		return nil, err
+	}
+	var classified []postings.KeyedMessage
+	for _, m := range batch {
+		status, isClassified := store.insert(m.Key, int(m.Aux), m.List, contributor)
+		if isClassified {
+			classified = append(classified, postings.KeyedMessage{Key: m.Key, Aux: uint64(status)})
+		}
+	}
+	return postings.EncodeKeyedBatch(nil, classified), nil
+}
+
+// storeClassify is the hdk.classify handler body.
+func storeClassify(store *hdkStore, req []byte) ([]byte, error) {
+	size, n := binary.Uvarint(req)
+	if n <= 0 || size < 1 || size > MaxKeySize {
+		return nil, errCorruptRPC
+	}
+	return encodeNotifyMap(store.classifySweep(int(size))), nil
+}
+
+// storeRepair is the replica.repair handler body.
+func storeRepair(store *hdkStore, req []byte) ([]byte, error) {
+	items, err := replica.DecodeBatch(req)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		if _, err := store.importEntry(it.Key, it.Blob); err != nil {
+			return nil, fmt.Errorf("core: repair import %q: %w", it.Key, err)
+		}
+	}
+	return nil, nil
+}
+
 // attachIndexServices registers the full index-node RPC surface for one
 // store on an overlay member. Shared by Engine.attachStore (in-process
-// stores) and StoreServer.Attach (daemon-hosted stores).
-func attachIndexServices(node overlay.Member, store *hdkStore) {
-	node.Handle(svcInsert, func(req []byte) ([]byte, error) {
-		contributor, batch, err := decodeInsertReq(req)
-		if err != nil {
-			return nil, err
+// stores, no persistence) and StoreServer.Attach (which threads its
+// persist hooks through, so daemon-hosted and in-proc StoreServers run
+// the same write-through code path). The three mutating services
+// (insert, classify, repair) are the ones logged; reads never touch the
+// log.
+func attachIndexServices(node overlay.Member, store *hdkStore, hooks persistHooks) {
+	logged := func(kind string, body func(*hdkStore, []byte) ([]byte, error)) transport.Handler {
+		if hooks == nil {
+			return func(req []byte) ([]byte, error) { return body(store, req) }
 		}
-		// The response reports, for keys already classified, their
-		// global status: new contributors of existing NDKs must learn
-		// the classification to drive their expansions.
-		var classified []postings.KeyedMessage
-		for _, m := range batch {
-			status, isClassified := store.insert(m.Key, int(m.Aux), m.List, contributor)
-			if isClassified {
-				classified = append(classified, postings.KeyedMessage{Key: m.Key, Aux: uint64(status)})
-			}
+		return func(req []byte) ([]byte, error) {
+			return hooks.runLogged(kind, req, func(r []byte) ([]byte, error) { return body(store, r) })
 		}
-		return postings.EncodeKeyedBatch(nil, classified), nil
-	})
+	}
+	node.Handle(SvcInsert, logged(DurableOpInsert, storeInsert))
+	node.Handle(SvcClassify, logged(DurableOpClassify, storeClassify))
+	node.Handle(replica.Service, logged(DurableOpRepair, storeRepair))
 	node.Handle(svcFetchBatch, func(req []byte) ([]byte, error) {
 		keys, err := decodeFetchBatchReq(req)
 		if err != nil {
@@ -101,34 +278,16 @@ func attachIndexServices(node overlay.Member, store *hdkStore) {
 		}
 		return encodeFetchBatchResp(store.fetchBatch(keys)), nil
 	})
-	node.Handle(replica.Service, func(req []byte) ([]byte, error) {
-		items, err := replica.DecodeBatch(req)
-		if err != nil {
-			return nil, err
-		}
-		for _, it := range items {
-			if _, err := store.importEntry(it.Key, it.Blob); err != nil {
-				return nil, fmt.Errorf("core: repair import %q: %w", it.Key, err)
-			}
-		}
-		return nil, nil
-	})
-	node.Handle(SvcClassify, func(req []byte) ([]byte, error) {
-		size, n := binary.Uvarint(req)
-		if n <= 0 || size < 1 || size > MaxKeySize {
-			return nil, errCorruptRPC
-		}
-		return encodeNotifyMap(store.classifySweep(int(size))), nil
-	})
 	node.Handle(SvcKeys, func(req []byte) ([]byte, error) {
 		return postings.EncodeKeyList(nil, store.keyList()), nil
 	})
 	node.Handle(SvcEntryInfo, func(req []byte) ([]byte, error) {
-		df, ok := store.entryDF(string(req))
+		fp, ok := store.entryFingerprint(string(req))
 		if !ok {
 			return []byte{0}, nil
 		}
-		return binary.AppendUvarint([]byte{1}, uint64(df)), nil
+		buf := binary.AppendUvarint([]byte{1}, uint64(fp.Version))
+		return binary.AppendUvarint(buf, fp.Sum), nil
 	})
 	node.Handle(SvcEntryExport, func(req []byte) ([]byte, error) {
 		blob, ok := store.exportEntry(string(req))
@@ -148,6 +307,23 @@ func attachIndexServices(node overlay.Member, store *hdkStore) {
 		}
 		return buf, nil
 	})
+}
+
+// encodeEntryRecord frames a durable snapshot cell: uvarint key length,
+// key, canonical entry export blob.
+func encodeEntryRecord(key string, blob []byte) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(key)))
+	buf = append(buf, key...)
+	return append(buf, blob...)
+}
+
+// decodeEntryRecord splits a durable snapshot cell back into key + blob.
+func decodeEntryRecord(payload []byte) (string, []byte, error) {
+	kl, n := binary.Uvarint(payload)
+	if n <= 0 || kl > uint64(len(payload)-n) {
+		return "", nil, errCorruptRPC
+	}
+	return string(payload[n : n+int(kl)]), payload[n+int(kl):], nil
 }
 
 // RemoteInventory implements replica.Inventory over the index inventory
@@ -175,16 +351,16 @@ func (ri RemoteInventory) Keys(m overlay.Member) []string {
 }
 
 // Fingerprint implements replica.Inventory.
-func (ri RemoteInventory) Fingerprint(m overlay.Member, key string) (int, bool) {
+func (ri RemoteInventory) Fingerprint(m overlay.Member, key string) (replica.Fingerprint, bool) {
 	raw, err := ri.Call(m.Addr(), SvcEntryInfo, []byte(key))
 	if err != nil {
-		return 0, false
+		return replica.Fingerprint{}, false
 	}
-	df, ok, err := DecodeEntryInfoResp(raw)
+	fp, ok, err := DecodeEntryInfoResp(raw)
 	if err != nil {
-		return 0, false
+		return replica.Fingerprint{}, false
 	}
-	return df, ok
+	return fp, ok
 }
 
 // Export implements replica.Inventory.
@@ -274,22 +450,29 @@ func DecodeNotifyMap(buf []byte) (map[string][]string, error) {
 }
 
 // DecodeEntryInfoResp parses a SvcEntryInfo response into the replica
-// fingerprint contract: (version, resident).
-func DecodeEntryInfoResp(resp []byte) (int, bool, error) {
+// fingerprint contract: (fingerprint, resident). The wire form is a
+// presence byte followed by the uvarint df and the uvarint content
+// checksum.
+func DecodeEntryInfoResp(resp []byte) (replica.Fingerprint, bool, error) {
+	var fp replica.Fingerprint
 	if len(resp) == 0 {
-		return 0, false, errCorruptRPC
+		return fp, false, errCorruptRPC
 	}
 	if resp[0] == 0 {
 		if len(resp) != 1 {
-			return 0, false, errCorruptRPC
+			return fp, false, errCorruptRPC
 		}
-		return 0, false, nil
+		return fp, false, nil
 	}
 	df, n := binary.Uvarint(resp[1:])
-	if n <= 0 || 1+n != len(resp) {
-		return 0, false, errCorruptRPC
+	if n <= 0 {
+		return fp, false, errCorruptRPC
 	}
-	return int(df), true, nil
+	sum, m := binary.Uvarint(resp[1+n:])
+	if m <= 0 || 1+n+m != len(resp) {
+		return fp, false, errCorruptRPC
+	}
+	return replica.Fingerprint{Version: int(df), Sum: sum}, true, nil
 }
 
 // DecodeEntryExportResp parses a SvcEntryExport response into the repair

@@ -58,11 +58,11 @@ func TestEntryRespCodecs(t *testing.T) {
 	if _, ok, err := DecodeEntryInfoResp([]byte{0}); err != nil || ok {
 		t.Fatalf("absent info: ok=%v err=%v", ok, err)
 	}
-	df, ok, err := DecodeEntryInfoResp(append([]byte{1}, 0xAC, 0x02)) // uvarint 300
-	if err != nil || !ok || df != 300 {
-		t.Fatalf("present info: df=%d ok=%v err=%v", df, ok, err)
+	fp, ok, err := DecodeEntryInfoResp(append([]byte{1}, 0xAC, 0x02, 0x07)) // uvarint 300, sum 7
+	if err != nil || !ok || fp.Version != 300 || fp.Sum != 7 {
+		t.Fatalf("present info: fp=%+v ok=%v err=%v", fp, ok, err)
 	}
-	for _, bad := range [][]byte{nil, {0, 9}, {1}} {
+	for _, bad := range [][]byte{nil, {0, 9}, {1}, {1, 0xAC, 0x02}, append([]byte{1}, 0xAC, 0x02, 0x07, 0x07)} {
 		if _, _, err := DecodeEntryInfoResp(bad); err == nil {
 			t.Fatalf("corrupt info %v decoded", bad)
 		}
@@ -125,12 +125,12 @@ func TestStoreServerServesEngineStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	df, ok, err := DecodeEntryInfoResp(rawInfo)
+	fpGot, ok, err := DecodeEntryInfoResp(rawInfo)
 	if err != nil || !ok {
 		t.Fatalf("entry info for %q: ok=%v err=%v", key, ok, err)
 	}
-	if wantDF, _ := eng.stores[m.ID()].entryDF(key); df != wantDF {
-		t.Fatalf("df over RPC %d, direct %d", df, wantDF)
+	if want, _ := eng.stores[m.ID()].entryFingerprint(key); fpGot != want {
+		t.Fatalf("fingerprint over RPC %+v, direct %+v", fpGot, want)
 	}
 	rawExp, err := eng.net.CallService(m.Addr(), SvcEntryExport, []byte(key))
 	if err != nil {

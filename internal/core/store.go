@@ -4,15 +4,19 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 
 	"repro/internal/postings"
+	"repro/internal/replica"
 )
 
 // Service names the HDK engine registers on overlay nodes.
 const (
-	svcInsert     = "hdk.insert"
+	// SvcInsert merges a peer's local posting lists into the index
+	// (exported so the cluster daemon can meter re-index traffic).
+	SvcInsert     = "hdk.insert"
 	svcFetchBatch = "hdk.fetchBatch"
 	svcNotify     = "hdk.notify"
 )
@@ -51,6 +55,12 @@ type entry struct {
 	// contributors are the notify addresses of peers that inserted
 	// postings for this key and must be told when it turns ND.
 	contributors map[string]struct{}
+	// sum memoizes the content checksum of the entry's canonical export
+	// (valid while sumOK): repair sweeps fingerprint entries far more
+	// often than mutations dirty them, and the checksum costs a full
+	// re-encode. Guarded by the store lock like every other field.
+	sum   uint64
+	sumOK bool
 }
 
 // hdkStore is the fraction of the global index one overlay node is
@@ -94,6 +104,7 @@ func (s *hdkStore) insert(key string, size int, list postings.List, contributor 
 		e.list = postings.Union(e.list, list)
 	}
 	e.contributors[contributor] = struct{}{}
+	e.sumOK = false
 	return e.status, e.classified
 }
 
@@ -117,6 +128,7 @@ func (s *hdkStore) classifySweep(size int) map[string][]string {
 		switch {
 		case !e.classified:
 			e.classified = true
+			e.sumOK = false
 			if e.df <= s.cfg.DFMax {
 				e.status = StatusHDK
 				continue
@@ -126,6 +138,7 @@ func (s *hdkStore) classifySweep(size int) map[string][]string {
 		default:
 			continue
 		}
+		e.sumOK = false
 		e.status = StatusNDK
 		if s.cfg.DisableNDKStorage {
 			e.list = nil
@@ -198,17 +211,39 @@ func (s *hdkStore) keyCount() int {
 	return len(s.entries)
 }
 
-// entryDF reports whether the store holds the key and the copy's global
-// df — the monotone freshness fingerprint the repair sweep compares
-// across replicas.
-func (s *hdkStore) entryDF(key string) (int, bool) {
+// entryFingerprint reports whether the store holds the key and the
+// copy's replica fingerprint: the global df (monotone under inserts) plus
+// a content checksum over the entry's canonical export encoding. Two
+// replicas that saw the same inserts produce byte-identical exports and
+// therefore equal fingerprints; a copy that missed inserts reports a
+// lower df, and a divergent copy with a coincidentally equal df reports
+// a different checksum — either way the repair sweep sees it.
+func (s *hdkStore) entryFingerprint(key string) (replica.Fingerprint, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[key]
 	if !ok {
-		return 0, false
+		return replica.Fingerprint{}, false
 	}
-	return e.df, true
+	return fingerprintEntry(e), true
+}
+
+// fingerprintEntry derives the replica fingerprint of an entry, (re)
+// computing the memoized checksum if a mutation dirtied it. The caller
+// must hold the store lock (or own the entry exclusively).
+func fingerprintEntry(e *entry) replica.Fingerprint {
+	if !e.sumOK {
+		e.sum = blobSum(exportEntryBytes(e))
+		e.sumOK = true
+	}
+	return replica.Fingerprint{Version: e.df, Sum: e.sum}
+}
+
+// blobSum is the content checksum fingerprints carry (FNV-1a 64).
+func blobSum(blob []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(blob)
+	return h.Sum64()
 }
 
 // exportEntry snapshots one entry for replica repair: uvarint size, df,
@@ -223,6 +258,14 @@ func (s *hdkStore) exportEntry(key string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	return exportEntryBytes(e), true
+}
+
+// exportEntryBytes builds the canonical export encoding of an entry.
+// Deterministic (contributors sorted, postings delta-coded), so equal
+// copies export byte-identically on every member. The caller must hold
+// the store lock (or own the entry exclusively).
+func exportEntryBytes(e *entry) []byte {
 	buf := binary.AppendUvarint(nil, uint64(e.size))
 	buf = binary.AppendUvarint(buf, uint64(e.df))
 	flags := byte(e.status)
@@ -240,41 +283,71 @@ func (s *hdkStore) exportEntry(key string) ([]byte, bool) {
 		buf = binary.AppendUvarint(buf, uint64(len(a)))
 		buf = append(buf, a...)
 	}
-	return postings.Encode(buf, e.list), true
+	return postings.Encode(buf, e.list)
 }
 
-// importEntry installs a repair snapshot, reporting whether it landed.
-// An existing copy is replaced only when the incoming one has a strictly
-// higher df: replicas that saw the same inserts are byte-identical, so
-// equal-df copies are a no-op, while a divergent partial copy (a replica
-// promoted into the set by churn that then received only post-churn
-// inserts) is overwritten by the fuller one.
-func (s *hdkStore) importEntry(key string, blob []byte) (bool, error) {
+// exportAll streams every resident entry's (key, canonical export blob)
+// pair to emit in sorted key order — the full-store snapshot source for
+// the durable persistence layer. The snapshot is point-in-time
+// consistent: the store lock is held for the duration.
+func (s *hdkStore) exportAll(emit func(key string, blob []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.entries))
+	for key := range s.entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := emit(key, exportEntryBytes(s.entries[key])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxContributorPrealloc caps the contributor-map pre-allocation during
+// blob decoding: the declared count is attacker-controlled, so a corrupt
+// blob must not be able to buy a large allocation with a few bytes. Real
+// counts above the cap still decode — the map simply grows as entries
+// are inserted, each of which costs actual blob bytes.
+const maxContributorPrealloc = 256
+
+// decodeEntryBlob parses a canonical entry export produced by
+// exportEntryBytes, validating every length against the remaining input.
+func decodeEntryBlob(blob []byte) (*entry, error) {
 	size, off := binary.Uvarint(blob)
 	if off <= 0 {
-		return false, errCorruptRPC
+		return nil, errCorruptRPC
 	}
 	df, sz := binary.Uvarint(blob[off:])
 	if sz <= 0 || len(blob) <= off+sz {
-		return false, errCorruptRPC
+		return nil, errCorruptRPC
 	}
 	off += sz
 	flags := blob[off]
 	off++
 	status := KeyStatus(flags & 3)
 	if status > StatusNDK || size < 1 || size > MaxKeySize {
-		return false, errCorruptRPC
+		return nil, errCorruptRPC
 	}
 	nc, sz := binary.Uvarint(blob[off:])
-	if sz <= 0 || nc > uint64(len(blob)) {
-		return false, errCorruptRPC
+	// Every contributor costs at least one byte (its length prefix), so a
+	// count beyond the remaining bytes is corrupt — and the declared count
+	// only pre-sizes the map up to a constant cap.
+	if sz <= 0 || nc > uint64(len(blob)-off-sz) {
+		return nil, errCorruptRPC
 	}
 	off += sz
-	contributors := make(map[string]struct{}, nc)
+	prealloc := nc
+	if prealloc > maxContributorPrealloc {
+		prealloc = maxContributorPrealloc
+	}
+	contributors := make(map[string]struct{}, prealloc)
 	for i := uint64(0); i < nc; i++ {
 		al, sz := binary.Uvarint(blob[off:])
 		if sz <= 0 || uint64(len(blob)-off-sz) < al {
-			return false, errCorruptRPC
+			return nil, errCorruptRPC
 		}
 		off += sz
 		contributors[string(blob[off:off+int(al)])] = struct{}{}
@@ -282,25 +355,60 @@ func (s *hdkStore) importEntry(key string, blob []byte) (bool, error) {
 	}
 	list, consumed, err := postings.Decode(blob[off:])
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	if off+consumed != len(blob) {
-		return false, errCorruptRPC
+		return nil, errCorruptRPC
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cur, exists := s.entries[key]; exists && cur.df >= int(df) {
-		return false, nil
-	}
-	s.entries[key] = &entry{
+	return &entry{
 		size:         int(size),
 		list:         list,
 		df:           int(df),
 		classified:   flags&(1<<2) != 0,
 		status:       status,
 		contributors: contributors,
+	}, nil
+}
+
+// importEntry installs a repair snapshot, reporting whether it landed.
+// An existing copy is replaced only when the incoming one's fingerprint
+// is strictly better: replicas that saw the same inserts are
+// byte-identical (equal fingerprints, no-op), a copy that missed inserts
+// has a lower df and is overwritten by the fuller one, and a DIVERGENT
+// copy whose disjoint inserts happen to sum to the same df loses to the
+// higher-checksum copy — the deterministic tiebreak every sweep agrees
+// on, so all replicas converge.
+func (s *hdkStore) importEntry(key string, blob []byte) (bool, error) {
+	e, err := decodeEntryBlob(blob)
+	if err != nil {
+		return false, err
 	}
+	in := replica.Fingerprint{Version: e.df, Sum: blobSum(blob)}
+	// The decoded entry re-exports byte-identically to blob (canonical
+	// round trip), so its checksum is already known.
+	e.sum, e.sumOK = in.Sum, true
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, exists := s.entries[key]; exists && !in.Better(fingerprintEntry(cur)) {
+		return false, nil
+	}
+	s.entries[key] = e
 	return true, nil
+}
+
+// restoreEntry force-installs an entry from a durable snapshot or log
+// record, replacing any resident copy: during recovery the record
+// sequence itself is the authority, not fingerprint order.
+func (s *hdkStore) restoreEntry(key string, blob []byte) error {
+	e, err := decodeEntryBlob(blob)
+	if err != nil {
+		return err
+	}
+	e.sum, e.sumOK = blobSum(blob), true
+	s.mu.Lock()
+	s.entries[key] = e
+	s.mu.Unlock()
+	return nil
 }
 
 // storedBySize returns resident posting counts and key counts per key

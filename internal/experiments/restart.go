@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/rank"
+	"repro/internal/transport"
+	"repro/internal/transport/cluster"
+)
+
+// This file implements the durable-restart scenario: the HDK index is
+// expensive to build (superlinear key generation over the corpus), so a
+// daemon that loses its RAM-resident store fraction to a crash used to
+// be recoverable only through R-way replica repair — and a whole-cluster
+// restart forced a full rebuild. With hdknode -data, a SIGKILLed daemon
+// restarts from its snapshot + op log, rejoins on its original ring
+// position, pulls only the delta it missed (warm-rejoin catch-up), and
+// serves again — and the scenario VERIFIES that: ranked results after
+// the restart must be bit-identical to the never-killed in-process
+// reference engine, the restarted daemon must have served ZERO re-index
+// (insert) RPCs, its catch-up must have pulled a delta rather than a
+// full re-replication, and a replica audit must report full coverage.
+
+// TCPRestartReport is the restart scenario's measurement.
+type TCPRestartReport struct {
+	Nodes    int
+	Replicas int
+	Docs     int
+	Queries  int
+
+	// Parity vs the never-killed in-process reference engine: queries
+	// whose ranked answers are NOT bit-identical (must be 0) before the
+	// crash and after the warm restart.
+	PreMismatches  int
+	PostMismatches int
+
+	// The restarted daemon's self-description.
+	VictimIdx     int
+	Warm          bool   // store restored from disk
+	RestoredKeys  int    // resident keys after restore + catch-up
+	InsertRPCs    uint64 // re-index RPCs served since restart (must be 0)
+	CatchUpStale  int    // keys the restored store was behind on
+	CatchUpPulled int    // copies pulled during warm-rejoin catch-up
+
+	// Replica coverage at R over the full membership after rejoin.
+	UnderAfterRestart int
+
+	BuildNanos   int64
+	RestartNanos int64 // kill signal through restored daemon ready
+}
+
+// ExactParity reports whether every query — before the crash and after
+// the warm restart — matched the in-process engine bit for bit.
+func (r *TCPRestartReport) ExactParity() bool {
+	return r.PreMismatches == 0 && r.PostMismatches == 0
+}
+
+// TCPRestart runs the durable-restart scenario against an
+// already-running durable cluster (hdknode -data ...): addrs are the
+// daemon addresses, kill SIGKILLs the process behind addrs[i], restart
+// brings it back on the same address from its data directory and
+// returns once the daemon is serving (cluster.Harness.Kill/Restart for
+// real processes).
+func TCPRestart(tr transport.Transport, addrs []string, kill, restart func(i int) error,
+	opts TCPClusterOpts, progress Progress) (*TCPRestartReport, error) {
+	if progress == nil {
+		progress = nopProgress
+	}
+	if len(addrs) != opts.Nodes {
+		return nil, fmt.Errorf("experiments: %d addresses for %d nodes", len(addrs), opts.Nodes)
+	}
+
+	col, err := corpus.Generate(corpus.GenParams{
+		NumDocs: opts.Docs, VocabSize: 2000, AvgDocLen: 50,
+		Skew: 1.0, NumTopics: 8, TopicTerms: 80, TopicMix: 0.5, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cen := baseline.NewCentralized(col, rank.DefaultBM25())
+	qp := corpus.DefaultQueryParams(opts.Queries)
+	qp.MinHits = 2
+	queries, err := corpus.GenerateQueries(col, qp, opts.Window, cen.ConjunctiveHits)
+	if err != nil {
+		return nil, fmt.Errorf("query generation: %w", err)
+	}
+
+	cfg := core.DefaultConfig(rank.CollectionStats{NumDocs: col.M(), AvgDocLen: col.AvgDocLen()})
+	cfg.DFMax = opts.DFMax
+	cfg.Window = opts.Window
+	cfg.ReplicationFactor = opts.Replicas
+
+	// The never-killed in-process reference: the ground truth both the
+	// pre-crash AND the post-restart cluster must reproduce bit for bit.
+	ref, err := buildInProcReference(col, opts.Nodes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	refOrigin := ref.Network().Members()[0]
+	intact := make([][]rank.Result, len(queries))
+	for i, q := range queries {
+		res, err := ref.Search(q, refOrigin, opts.TopK)
+		if err != nil {
+			return nil, err
+		}
+		intact[i] = res.Results
+	}
+
+	// Build through the durable daemons.
+	c, err := cluster.New(tr, addrs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Configure(cfg); err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(c, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		return nil, err
+	}
+	members := c.Members()
+	for i, part := range col.SplitRoundRobin(len(members)) {
+		if _, err := eng.AddPeer(members[i], part); err != nil {
+			return nil, err
+		}
+	}
+	progress("restart: building %d docs over %d durable processes (R=%d)", col.M(), opts.Nodes, opts.Replicas)
+	buildStart := time.Now()
+	if err := eng.BuildIndex(); err != nil {
+		return nil, fmt.Errorf("cluster build: %w", err)
+	}
+
+	rep := &TCPRestartReport{
+		Nodes: opts.Nodes, Replicas: opts.Replicas,
+		Docs: col.M(), Queries: len(queries),
+		BuildNanos: time.Since(buildStart).Nanoseconds(),
+	}
+
+	origin := c.Members()[0]
+	for i, q := range queries {
+		res, err := eng.Search(q, origin, opts.TopK)
+		if err != nil {
+			return nil, fmt.Errorf("cluster query %d: %w", i, err)
+		}
+		if !reflect.DeepEqual(intact[i], res.Results) {
+			rep.PreMismatches++
+		}
+	}
+	progress("restart: %d/%d pre-crash queries bit-identical to in-process engine",
+		len(queries)-rep.PreMismatches, len(queries))
+
+	// SIGKILL the daemon that owns the first query's first term (a
+	// guaranteed probe target), then restart it from its data directory.
+	victim, ok := c.OwnerOf(col.Vocab[queries[0].Terms[0]])
+	if !ok {
+		return nil, fmt.Errorf("experiments: empty membership")
+	}
+	rep.VictimIdx = -1
+	for i, a := range addrs {
+		if a == victim.Addr() {
+			rep.VictimIdx = i
+		}
+	}
+	if rep.VictimIdx < 0 {
+		return nil, fmt.Errorf("experiments: victim %s not in address list", victim.Addr())
+	}
+	progress("restart: SIGKILL process %d (%s), then warm restart from its data dir", rep.VictimIdx, victim.Addr())
+	restartStart := time.Now()
+	if err := kill(rep.VictimIdx); err != nil {
+		return nil, fmt.Errorf("kill process %d: %w", rep.VictimIdx, err)
+	}
+	if err := restart(rep.VictimIdx); err != nil {
+		return nil, fmt.Errorf("restart process %d: %w", rep.VictimIdx, err)
+	}
+	rep.RestartNanos = time.Since(restartStart).Nanoseconds()
+
+	// A fresh client discovery must find the full membership again, and
+	// a fresh engine over it must reproduce the reference bit for bit —
+	// probes landing on the restarted daemon are served from its
+	// restored store.
+	seed := addrs[(rep.VictimIdx+1)%len(addrs)]
+	c2, err := cluster.Connect(tr, seed)
+	if err != nil {
+		return nil, fmt.Errorf("post-restart discovery: %w", err)
+	}
+	if c2.Size() != opts.Nodes {
+		return nil, fmt.Errorf("post-restart discovery via %s: %d members, want %d", seed, c2.Size(), opts.Nodes)
+	}
+	eng2, err := core.NewEngine(c2, cfg, col.Vocab, col.TermFrequencies())
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range queries {
+		res, err := eng2.Search(q, c2.Members()[0], opts.TopK)
+		if err != nil {
+			return nil, fmt.Errorf("post-restart query %d: %w", i, err)
+		}
+		if !reflect.DeepEqual(intact[i], res.Results) {
+			rep.PostMismatches++
+		}
+	}
+	rep.UnderAfterRestart = c2.Audit(opts.Replicas).UnderReplicated
+
+	info, err := cluster.FetchInfo(tr, victim.Addr())
+	if err != nil {
+		return nil, fmt.Errorf("restarted daemon info: %w", err)
+	}
+	rep.Warm = info.Warm
+	rep.RestoredKeys = info.Keys
+	rep.InsertRPCs = info.InsertRPCs
+	rep.CatchUpStale = info.CatchUpStale
+	rep.CatchUpPulled = info.CatchUpPulled
+
+	progress("restart: %d/%d post-restart queries bit-identical, %d keys restored, %d insert RPCs, %d copies pulled, %d under-replicated",
+		len(queries)-rep.PostMismatches, len(queries), rep.RestoredKeys, rep.InsertRPCs, rep.CatchUpPulled, rep.UnderAfterRestart)
+	return rep, nil
+}
+
+// Fprint renders the restart scenario report.
+func (r *TCPRestartReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Durable restart — %d hdknode processes, R=%d, %d docs, %d queries\n",
+		r.Nodes, r.Replicas, r.Docs, r.Queries)
+	fmt.Fprintf(w, "parity vs in-process engine: %d/%d pre-crash, %d/%d post-restart bit-identical\n",
+		r.Queries-r.PreMismatches, r.Queries, r.Queries-r.PostMismatches, r.Queries)
+	fmt.Fprintf(w, "victim %d: warm=%v, %d keys restored, %d insert RPCs since restart, catch-up %d stale / %d pulled, %d under-replicated\n",
+		r.VictimIdx, r.Warm, r.RestoredKeys, r.InsertRPCs, r.CatchUpStale, r.CatchUpPulled, r.UnderAfterRestart)
+	fmt.Fprintf(w, "build %.2fms | kill→ready %.2fms\n",
+		float64(r.BuildNanos)/1e6, float64(r.RestartNanos)/1e6)
+}

@@ -7,6 +7,35 @@ import (
 	"repro/internal/overlay"
 )
 
+// Fingerprint is the per-copy freshness identity the repair sweep
+// compares across replicas: a monotone version plus a content checksum.
+// The version alone (the HDK engine uses the global df) orders copies
+// that saw different NUMBERS of inserts, but two divergent copies whose
+// disjoint insert batches happen to sum to the same df would compare
+// equal; the checksum over the copy's content breaks exactly that tie,
+// so silent divergence is detected and healed instead of trusted.
+type Fingerprint struct {
+	// Version is a monotone freshness counter: replicas that saw the
+	// same inserts agree on it, a replica that missed inserts reports a
+	// smaller value.
+	Version int
+	// Sum is a checksum of the copy's content. Copies with equal Version
+	// but different Sum are divergent; the sweep deterministically
+	// converges them onto the higher-Sum copy.
+	Sum uint64
+}
+
+// Better reports whether f should replace o in a repair sweep: a higher
+// version always wins; at equal versions the higher checksum wins (an
+// arbitrary but deterministic total order over divergent equals, so
+// every sweep — on any member — picks the same survivor).
+func (f Fingerprint) Better(o Fingerprint) bool {
+	if f.Version != o.Version {
+		return f.Version > o.Version
+	}
+	return f.Sum > o.Sum
+}
+
 // Inventory is the Repairer's view of the replicated index: which keys
 // are resident on which member, a freshness fingerprint per copy, and an
 // opaque exportable snapshot per (member, key). The index layer (e.g.
@@ -16,14 +45,11 @@ type Inventory interface {
 	// Keys returns the resident keys of a member's store in a
 	// deterministic order (nil for members without a store).
 	Keys(m overlay.Member) []string
-	// Fingerprint reports whether the member holds the key and, if so, a
-	// monotone version of its copy (the HDK engine uses the global df:
-	// replicas that saw the same inserts agree on it, and a replica that
-	// missed inserts — e.g. one promoted into the set by churn and then
-	// fed only post-churn postings — reports a smaller value). The sweep
-	// treats a copy with a lower fingerprint than the best resident one
-	// as missing, so divergent partial replicas are healed, not trusted.
-	Fingerprint(m overlay.Member, key string) (version int, ok bool)
+	// Fingerprint reports whether the member holds the key and, if so,
+	// its copy's freshness identity. The sweep treats a copy whose
+	// fingerprint differs from the best resident one as missing, so
+	// divergent partial replicas are healed, not trusted.
+	Fingerprint(m overlay.Member, key string) (fp Fingerprint, ok bool)
 	// Export snapshots one resident entry for shipping to a replica.
 	Export(m overlay.Member, key string) ([]byte, bool)
 }
@@ -70,9 +96,9 @@ type deficit struct {
 }
 
 // sweep is shared by Repair and Audit: for every distinct key resident
-// on a live member, find the freshest copy (highest fingerprint among
-// the member it was discovered on and the replica set) and the replica
-// set members that lack it or hold a stale one.
+// on a live member, find the freshest copy (best fingerprint among the
+// member it was discovered on and the replica set) and the replica set
+// members that lack it or hold a stale or divergent one.
 func sweep(f overlay.Fabric, inv Inventory, r int) (deficits []deficit, keys int) {
 	seen := make(map[string]bool)
 	for _, m := range f.Members() {
@@ -83,18 +109,18 @@ func sweep(f overlay.Fabric, inv Inventory, r int) (deficits []deficit, keys int
 			seen[key] = true
 			keys++
 			owners := Owners(f, key, r)
-			best, bestVersion := m, -1
-			if v, ok := inv.Fingerprint(m, key); ok {
-				bestVersion = v
+			best, bestFP, bestOK := m, Fingerprint{}, false
+			if fp, ok := inv.Fingerprint(m, key); ok {
+				bestFP, bestOK = fp, true
 			}
 			for _, owner := range owners {
-				if v, ok := inv.Fingerprint(owner, key); ok && v > bestVersion {
-					best, bestVersion = owner, v
+				if fp, ok := inv.Fingerprint(owner, key); ok && (!bestOK || fp.Better(bestFP)) {
+					best, bestFP, bestOK = owner, fp, true
 				}
 			}
 			var missing []overlay.Member
 			for _, owner := range owners {
-				if v, ok := inv.Fingerprint(owner, key); !ok || v < bestVersion {
+				if fp, ok := inv.Fingerprint(owner, key); !ok || fp != bestFP {
 					missing = append(missing, owner)
 				}
 			}
@@ -149,6 +175,94 @@ func (rp *Repairer) Repair() (RepairStats, error) {
 			return st, fmt.Errorf("replica: repair batch to %s: %w", addr, err)
 		}
 		st.RepairRPCs++
+	}
+	return st, nil
+}
+
+// CatchUpStats summarizes one member's warm-rejoin delta.
+type CatchUpStats struct {
+	KeysOwned    int // keys in replica sets self belongs to, seen on any other live member
+	Stale        int // of those, keys whose local copy was missing, behind or divergent
+	CopiesPulled int // entry snapshots shipped to self (== Stale unless an export raced away)
+	PullRPCs     int // batched import calls issued to self (0 or 1)
+}
+
+// CatchUp restores ONE member after a warm restart: instead of the full
+// Repair sweep (which re-replicates every under-replicated key anywhere
+// in the cluster), it pulls only the delta this member missed while it
+// was down — the keys in its own replica sets whose freshest resident
+// copy beats (or is absent from) its restored store. The fresh copies
+// ship to self in a single batched Service RPC; nothing is pushed to any
+// other member and nothing is re-indexed. A member restarting with an
+// intact, up-to-date store pulls zero copies.
+func (rp *Repairer) CatchUp(self overlay.Member) (CatchUpStats, error) {
+	r := rp.R
+	if r < 1 {
+		r = 1
+	}
+	var st CatchUpStats
+	seen := make(map[string]bool)
+	var items []Item
+	for _, m := range rp.Fabric.Members() {
+		if m.ID() == self.ID() {
+			continue
+		}
+		for _, key := range rp.Inv.Keys(m) {
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			owners := Owners(rp.Fabric, key, r)
+			mine := false
+			for _, o := range owners {
+				if o.ID() == self.ID() {
+					mine = true
+					break
+				}
+			}
+			if !mine {
+				continue
+			}
+			st.KeysOwned++
+			// Freshest copy among the holder that surfaced the key and
+			// the replica set (self included: an up-to-date restored copy
+			// must win and cost nothing). Self's fingerprint is captured
+			// in the same pass — one inventory RPC per (owner, key).
+			best, bestFP, bestOK := m, Fingerprint{}, false
+			if fp, ok := rp.Inv.Fingerprint(m, key); ok {
+				bestFP, bestOK = fp, true
+			}
+			var selfFP Fingerprint
+			selfOK := false
+			for _, o := range owners {
+				fp, ok := rp.Inv.Fingerprint(o, key)
+				if o.ID() == self.ID() {
+					selfFP, selfOK = fp, ok
+				}
+				if ok && (!bestOK || fp.Better(bestFP)) {
+					best, bestFP, bestOK = o, fp, true
+				}
+			}
+			if !bestOK || best.ID() == self.ID() {
+				continue
+			}
+			if selfOK && selfFP == bestFP {
+				continue
+			}
+			st.Stale++
+			blob, ok := rp.Inv.Export(best, key)
+			if !ok {
+				return st, fmt.Errorf("replica: holder %s lost %q mid-catch-up", best.Addr(), key)
+			}
+			items = append(items, Item{Key: key, Blob: blob})
+		}
+	}
+	if len(items) > 0 {
+		if _, err := rp.Fabric.CallService(self.Addr(), Service, EncodeBatch(nil, items)); err != nil {
+			return st, fmt.Errorf("replica: catch-up batch to %s: %w", self.Addr(), err)
+		}
+		st.CopiesPulled = len(items)
+		st.PullRPCs = 1
 	}
 	return st, nil
 }

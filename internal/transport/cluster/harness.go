@@ -17,16 +17,54 @@ import (
 // processes for end-to-end tests and CI: node 0 listens on an ephemeral
 // port, every later node joins through it, and Start returns once the
 // membership view has converged on every daemon. Each daemon's stdout is
-// parsed for the "hdknode listening on <addr>" banner.
+// parsed for the "hdknode listening on <addr>" banner. With DataRoot set
+// every daemon runs durable (-data DataRoot/node<i>), and Restart brings
+// a killed daemon back on its original address for warm-rejoin
+// scenarios.
 type Harness struct {
 	// Bin is the hdknode binary path (see BuildHDKNode).
 	Bin string
 	// Stderr, when non-nil, receives every daemon's stderr (test logs).
 	Stderr *os.File
+	// DataRoot, when non-empty, gives each daemon a durable data
+	// directory under it ("node0", "node1", ...).
+	DataRoot string
+	// Fsync overrides the daemons' -fsync policy (DataRoot only;
+	// default "always", the SIGKILL-proof setting restart tests need).
+	Fsync string
 
-	procs []*exec.Cmd
-	addrs []string
-	dead  []bool
+	procs    []*exec.Cmd
+	addrs    []string
+	dead     []bool
+	replicas int
+	extra    []string
+}
+
+// NodeDataDir returns daemon i's durable data directory ("" without
+// DataRoot) — the artifact to collect when a restart scenario fails.
+func (h *Harness) NodeDataDir(i int) string {
+	if h.DataRoot == "" {
+		return ""
+	}
+	return filepath.Join(h.DataRoot, fmt.Sprintf("node%d", i))
+}
+
+// nodeArgs assembles daemon i's command line. listen is the concrete
+// address (the original one on restart, "127.0.0.1:0" initially) and
+// join the address of a live member ("" for the bootstrap node).
+func (h *Harness) nodeArgs(i int, listen, join string) []string {
+	args := []string{"-listen", listen, "-replicas", fmt.Sprint(h.replicas)}
+	if join != "" {
+		args = append(args, "-join", join)
+	}
+	if dir := h.NodeDataDir(i); dir != "" {
+		fsync := h.Fsync
+		if fsync == "" {
+			fsync = "always"
+		}
+		args = append(args, "-data", dir, "-fsync", fsync)
+	}
+	return append(args, h.extra...)
 }
 
 // BuildHDKNode compiles cmd/hdknode into dir and returns the binary
@@ -48,18 +86,19 @@ const startTimeout = 30 * time.Second
 
 // Start launches n daemons with the given replication factor and waits
 // for membership convergence. extraArgs are appended to every daemon's
-// command line.
+// command line (and remembered for Restart).
 func (h *Harness) Start(n, replicas int, extraArgs ...string) error {
 	if n < 1 {
 		return fmt.Errorf("cluster: need at least one node")
 	}
+	h.replicas = replicas
+	h.extra = extraArgs
 	for i := 0; i < n; i++ {
-		args := []string{"-listen", "127.0.0.1:0", "-replicas", fmt.Sprint(replicas)}
+		join := ""
 		if i > 0 {
-			args = append(args, "-join", h.addrs[0])
+			join = h.addrs[0]
 		}
-		args = append(args, extraArgs...)
-		cmd := exec.Command(h.Bin, args...)
+		cmd := exec.Command(h.Bin, h.nodeArgs(i, "127.0.0.1:0", join)...)
 		cmd.Stderr = h.Stderr
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
@@ -81,6 +120,54 @@ func (h *Harness) Start(n, replicas int, extraArgs ...string) error {
 		h.Stop()
 		return err
 	}
+	return nil
+}
+
+// Restart brings a killed daemon back on its ORIGINAL listen address —
+// same ring position, same replica sets — joining through the first
+// live member. With DataRoot set the daemon reloads its durable store
+// and runs its warm-rejoin catch-up before printing the banner Restart
+// waits for, so a returned Restart means the daemon is serving its
+// restored index.
+func (h *Harness) Restart(i int) error {
+	if i < 0 || i >= len(h.procs) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	if !h.dead[i] {
+		return fmt.Errorf("cluster: node %d is still running", i)
+	}
+	join := ""
+	for j, addr := range h.addrs {
+		if j != i && !h.dead[j] {
+			join = addr
+			break
+		}
+	}
+	if join == "" {
+		return fmt.Errorf("cluster: no live member for node %d to rejoin through", i)
+	}
+	cmd := exec.Command(h.Bin, h.nodeArgs(i, h.addrs[i], join)...)
+	cmd.Stderr = h.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", i, err)
+	}
+	addr, err := awaitBanner(stdout)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("cluster: restart node %d: %w", i, err)
+	}
+	if addr != h.addrs[i] {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("cluster: node %d restarted on %s, want %s", i, addr, h.addrs[i])
+	}
+	h.procs[i] = cmd
+	h.dead[i] = false
 	return nil
 }
 

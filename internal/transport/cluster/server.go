@@ -6,12 +6,22 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/overlay"
+	"repro/internal/replica"
 	"repro/internal/transport"
 )
+
+// durConfigure is the cluster-owned durable record kind carrying the
+// daemon's configuration payload (the exact bytes the configuring client
+// shipped, so idempotency comparisons survive a restart). It leads every
+// snapshot and is the first op of a fresh log, so replay always knows
+// the store configuration before the first store op.
+const durConfigure = "configure"
 
 // shutdownGrace is how long a cluster.shutdown RPC waits before
 // signaling Done, so the (local loopback) response write beats the
@@ -46,6 +56,11 @@ type Server struct {
 	members    map[string]struct{}
 	store      *core.StoreServer
 	configJSON []byte
+	dur        *durable.Store
+	warm       bool // store state was restored from disk at startup
+	catchUp    replica.CatchUpStats
+
+	insertRPCs atomic.Uint64 // hdk.insert RPCs served (re-index traffic meter)
 
 	smu      sync.RWMutex
 	services map[string]transport.Handler
@@ -61,6 +76,20 @@ type Info struct {
 	Replicas   int    `json:"replicas"`
 	Configured bool   `json:"configured"`
 	Members    int    `json:"members"`
+	// Keys is the store's resident key count.
+	Keys int `json:"keys"`
+	// Warm reports that the store was restored from a durable data dir
+	// at startup instead of being rebuilt over the wire.
+	Warm bool `json:"warm"`
+	// InsertRPCs counts hdk.insert calls served since THIS process
+	// started — the re-index traffic meter: a warm-restarted daemon that
+	// rejoined correctly serves its restored index with zero of them.
+	InsertRPCs uint64 `json:"insert_rpcs"`
+	// CatchUpStale/CatchUpPulled summarize the warm-rejoin delta the
+	// daemon pulled from its replica peers (both 0 when nothing was
+	// missed while down).
+	CatchUpStale  int `json:"catchup_stale"`
+	CatchUpPulled int `json:"catchup_pulled"`
 }
 
 // NewServer binds a daemon on the transport (pass "127.0.0.1:0" for an
@@ -111,6 +140,111 @@ func (s *Server) Done() <-chan struct{} { return s.done }
 
 // Shutdown signals Done. Closing the transport is the caller's job.
 func (s *Server) Shutdown() { s.stopOnce.Do(func() { close(s.done) }) }
+
+// EnableDurability attaches a durable data store and replays whatever it
+// recovered: a "configure" record recreates the store server (with
+// persistence enabled, so replayed state keeps persisting), and every
+// further record replays through core.StoreServer. Call once, before the
+// daemon serves index traffic (it listens already, but the harness and
+// operators gate clients on the post-recovery banner). After a recovery
+// with index state the daemon reports Warm through cluster.info.
+func (s *Server) EnableDurability(d *durable.Store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		return fmt.Errorf("cluster: %s: enable durability before configuration", s.addr)
+	}
+	s.dur = d
+	replay := append(append([]durable.Record{}, d.Snapshot()...), d.Ops()...)
+	for i, rec := range replay {
+		if rec.Kind == durConfigure {
+			if err := s.configureLocked(rec.Payload); err != nil {
+				return fmt.Errorf("cluster: %s: replay configure: %w", s.addr, err)
+			}
+			continue
+		}
+		if s.store == nil {
+			return fmt.Errorf("cluster: %s: durable record %d (%s) precedes configuration", s.addr, i, rec.Kind)
+		}
+		if err := s.store.ReplayRecord(rec.Kind, rec.Payload); err != nil {
+			return fmt.Errorf("cluster: %s: replay %s record: %w", s.addr, rec.Kind, err)
+		}
+	}
+	d.DropRecovery()
+	s.warm = s.store != nil && s.store.Populated()
+	return nil
+}
+
+// Warm reports whether startup restored index state from disk.
+func (s *Server) Warm() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warm
+}
+
+// InsertRPCs returns the number of hdk.insert calls served by this
+// process.
+func (s *Server) InsertRPCs() uint64 { return s.insertRPCs.Load() }
+
+// CatchUp pulls the delta this daemon missed while it was down: it
+// builds a client fabric over its own membership view, sweeps the other
+// members' inventories for keys in its replica sets, and imports every
+// copy fresher than (or absent from) its restored store — the
+// warm-rejoin path that replaces full re-replication. Call after Join;
+// a daemon without a configured store has nothing to catch up on.
+func (s *Server) CatchUp() (replica.CatchUpStats, error) {
+	s.mu.Lock()
+	store := s.store
+	s.mu.Unlock()
+	if store == nil {
+		return replica.CatchUpStats{}, nil
+	}
+	c, err := New(s.tr, s.memberList())
+	if err != nil {
+		return replica.CatchUpStats{}, fmt.Errorf("cluster: catch-up fabric: %w", err)
+	}
+	c.mu.RLock()
+	self := c.byAddr[s.addr]
+	c.mu.RUnlock()
+	if self == nil {
+		return replica.CatchUpStats{}, fmt.Errorf("cluster: %s missing from own membership", s.addr)
+	}
+	r := store.Config().ReplicationFactor
+	if r < 1 {
+		r = 1
+	}
+	rp := &replica.Repairer{Fabric: c, Inv: core.RemoteInventory{Call: c.CallService}, R: r}
+	// The import batch to self arrives over the daemon's own RPC surface,
+	// so the pulled copies run through the persist hooks like any other
+	// repair traffic — the catch-up itself is durable.
+	st, err := rp.CatchUp(self)
+	if err != nil {
+		return st, err
+	}
+	s.mu.Lock()
+	s.catchUp = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+// PersistShutdown is the graceful-exit path for a durable daemon: the op
+// log is compacted into a fresh snapshot (so the next start replays zero
+// ops) and the data store is closed. A no-op without durability.
+func (s *Server) PersistShutdown() error {
+	s.mu.Lock()
+	store, d := s.store, s.dur
+	s.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	if store != nil && store.Populated() {
+		if err := store.CompactNow(); err != nil {
+			d.Close()
+			return err
+		}
+	}
+	return d.Close()
+}
 
 // Join bootstraps this daemon into an existing cluster through any
 // member: the seed hands back its post-join view, and the joiner
@@ -210,6 +344,11 @@ func (s *Server) dispatch(req []byte) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: node %s: unknown service %q (configured: %v)", s.addr, service, s.configured())
 	}
+	if service == core.SvcInsert {
+		// Meter re-index traffic: a warm-restarted daemon proves its
+		// restored index cost zero rebuild RPCs by this staying 0.
+		s.insertRPCs.Add(1)
+	}
 	return h(payload)
 }
 
@@ -222,11 +361,18 @@ func (s *Server) configured() bool {
 func (s *Server) handleInfo() ([]byte, error) {
 	s.mu.Lock()
 	info := Info{
-		Addr:       s.addr,
-		ID:         fmt.Sprintf("%016x", uint64(s.id)),
-		Replicas:   s.replicas,
-		Configured: s.store != nil,
-		Members:    len(s.members),
+		Addr:          s.addr,
+		ID:            fmt.Sprintf("%016x", uint64(s.id)),
+		Replicas:      s.replicas,
+		Configured:    s.store != nil,
+		Members:       len(s.members),
+		Warm:          s.warm,
+		InsertRPCs:    s.insertRPCs.Load(),
+		CatchUpStale:  s.catchUp.Stale,
+		CatchUpPulled: s.catchUp.CopiesPulled,
+	}
+	if s.store != nil {
+		info.Keys = s.store.KeyCount()
 	}
 	s.mu.Unlock()
 	return json.Marshal(info)
@@ -236,12 +382,13 @@ func (s *Server) handleInfo() ([]byte, error) {
 // configuration. Idempotent: re-sending the identical configuration is
 // accepted (a client re-connecting, or a configure broadcast racing a
 // retry); a different one is rejected — reconfiguring a live store would
-// silently reclassify the index.
+// silently reclassify the index. With durability enabled the exact
+// payload is appended to the op log, so a warm restart recreates the
+// store before replaying its mutations — and a RESTORED daemon applies
+// the same idempotency rules: the configuring client of a rebuilt
+// cluster is told the index already exists instead of re-inserting into
+// it.
 func (s *Server) handleConfigure(payload []byte) ([]byte, error) {
-	var cfg core.Config
-	if err := json.Unmarshal(payload, &cfg); err != nil {
-		return nil, fmt.Errorf("cluster: bad configuration: %w", err)
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.store != nil {
@@ -258,14 +405,59 @@ func (s *Server) handleConfigure(payload []byte) ([]byte, error) {
 		}
 		return nil, nil // idempotent re-send during bootstrap
 	}
+	// Log-first: the configure record must be durable BEFORE the store
+	// exists and starts serving (and logging) mutations. The other order
+	// has a window where an Append failure leaves a serving store whose
+	// op log opens with an insert record — a data dir no restart can
+	// load, and one the idempotent re-send path would never heal. The
+	// payload is validated up front so the post-append store creation
+	// cannot fail and orphan the logged record.
+	var cfg core.Config
+	if err := json.Unmarshal(payload, &cfg); err != nil {
+		return nil, fmt.Errorf("cluster: bad configuration: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s.dur != nil {
+		if err := s.dur.Append(durConfigure, payload); err != nil {
+			return nil, fmt.Errorf("cluster: %s: persist configuration: %w", s.addr, err)
+		}
+	}
+	if err := s.configureLocked(payload); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// configureLocked creates and attaches the store server from a
+// configuration payload. Shared by the configure RPC and durable replay;
+// the caller holds s.mu and handles logging.
+func (s *Server) configureLocked(payload []byte) error {
+	var cfg core.Config
+	if err := json.Unmarshal(payload, &cfg); err != nil {
+		return fmt.Errorf("cluster: bad configuration: %w", err)
+	}
 	store, err := core.NewStoreServer(cfg)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if s.dur != nil {
+		store.EnablePersistence(s.dur, s.durableHeader)
 	}
 	store.Attach(s) // registers services under smu, not s.mu
 	s.store = store
 	s.configJSON = append([]byte(nil), payload...)
-	return nil, nil
+	return nil
+}
+
+// durableHeader contributes the configuration record at the head of
+// every compacted snapshot, keeping each generation self-contained.
+func (s *Server) durableHeader(emit func(kind string, payload []byte) error) error {
+	s.mu.Lock()
+	payload := append([]byte(nil), s.configJSON...)
+	s.mu.Unlock()
+	return emit(durConfigure, payload)
 }
 
 // Store returns the daemon's store server (nil before configuration).

@@ -26,6 +26,7 @@ type TCP struct {
 	mu        sync.Mutex
 	listeners []net.Listener
 	idle      map[string][]net.Conn // per-address idle connections
+	inflight  map[net.Conn]struct{} // client-side connections checked out by a Call
 	accepted  map[net.Conn]struct{} // server-side connections in flight
 	closed    bool
 	wg        sync.WaitGroup
@@ -76,6 +77,7 @@ func NewTCPConfig(cfg TCPConfig) *TCP {
 	return &TCP{
 		cfg:      cfg.withDefaults(),
 		idle:     make(map[string][]net.Conn),
+		inflight: make(map[net.Conn]struct{}),
 		accepted: make(map[net.Conn]struct{}),
 	}
 }
@@ -182,7 +184,10 @@ func (t *TCP) handleConn(conn net.Conn, h Handler) {
 }
 
 // getConn checks out a pooled idle connection for addr or dials a fresh
-// one. reused reports which source the connection came from.
+// one, registering it as in flight either way so Close can reach it
+// (an untracked checked-out conn would survive Close and block its
+// caller until CallTimeout). reused reports which source the connection
+// came from.
 func (t *TCP) getConn(addr string) (conn net.Conn, reused bool, err error) {
 	t.mu.Lock()
 	if t.closed {
@@ -192,6 +197,7 @@ func (t *TCP) getConn(addr string) (conn net.Conn, reused bool, err error) {
 	if free := t.idle[addr]; len(free) > 0 {
 		conn = free[len(free)-1]
 		t.idle[addr] = free[:len(free)-1]
+		t.inflight[conn] = struct{}{}
 		t.mu.Unlock()
 		t.reuses.Add(1)
 		return conn, true, nil
@@ -201,8 +207,26 @@ func (t *TCP) getConn(addr string) (conn net.Conn, reused bool, err error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	t.mu.Lock()
+	if t.closed {
+		// Close ran between the check above and the dial completing; the
+		// conn would be invisible to it, so shut it down here.
+		t.mu.Unlock()
+		conn.Close()
+		return nil, false, ErrClosed
+	}
+	t.inflight[conn] = struct{}{}
+	t.mu.Unlock()
 	t.dials.Add(1)
 	return conn, false, nil
+}
+
+// release drops a connection from the in-flight set once its Call is
+// done with it (pooled, handed back, or closed on error).
+func (t *TCP) release(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.inflight, conn)
+	t.mu.Unlock()
 }
 
 // isTimeout reports whether err is a network timeout (deadline expiry).
@@ -222,14 +246,17 @@ func (t *TCP) dropIdle(addr string) {
 	}
 }
 
-// putConn returns a healthy connection to the idle pool, or closes it
+// putConn returns a healthy connection to the idle pool (clearing its
+// in-flight registration in the same critical section), or closes it
 // when the pool is full, pooling is disabled, or the transport closed.
 func (t *TCP) putConn(addr string, conn net.Conn) {
 	if t.cfg.MaxIdlePerHost < 0 {
+		t.release(conn)
 		conn.Close()
 		return
 	}
 	t.mu.Lock()
+	delete(t.inflight, conn)
 	if t.closed || len(t.idle[addr]) >= t.cfg.MaxIdlePerHost {
 		t.mu.Unlock()
 		t.idleDropped.Add(1)
@@ -297,6 +324,7 @@ func (t *TCP) Call(addr string, req []byte) ([]byte, error) {
 			t.putConn(addr, conn)
 			return nil, err
 		}
+		t.release(conn)
 		conn.Close()
 		if reused && attempt == 0 && !isTimeout(err) {
 			// A reused conn failing with RST/EOF is almost always a
@@ -323,8 +351,12 @@ func (t *TCP) Call(addr string, req []byte) ([]byte, error) {
 	}
 }
 
-// Close implements Transport. It stops all listeners, closes every pooled
-// idle connection and waits for in-flight server goroutines to drain.
+// Close implements Transport. It stops all listeners, closes every
+// pooled idle connection AND every client connection currently checked
+// out by an in-flight Call — a call blocked on a stalled or dead server
+// fails immediately with a closed-connection error instead of holding
+// its fd and the caller hostage until CallTimeout — then waits for
+// in-flight server goroutines to drain.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	t.closed = true
@@ -337,6 +369,9 @@ func (t *TCP) Close() error {
 			c.Close()
 		}
 		delete(t.idle, addr)
+	}
+	for c := range t.inflight {
+		c.Close()
 	}
 	// Server-side connections may sit in readFrame waiting for a pooled
 	// client's next request; closing them unblocks the handler goroutines

@@ -323,3 +323,100 @@ func TestTCPMaxIdlePerHost(t *testing.T) {
 		t.Fatalf("IdleConns = %d, want <= 1", got)
 	}
 }
+
+// TestTCPCloseUnblocksInFlightCall is the shutdown-leak regression: a
+// Call blocked on a stalled server holds a client connection that Close
+// used to be unable to see (it only drained idle and accepted conns), so
+// the fd leaked and the caller stayed blocked until CallTimeout — 30s by
+// default. Close must close checked-out connections too, failing the
+// call immediately.
+func TestTCPCloseUnblocksInFlightCall(t *testing.T) {
+	// Server on its own transport: a handler that stalls until released.
+	srv := NewTCP()
+	defer srv.Close()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	addr, err := srv.Listen("127.0.0.1:0", func(req []byte) ([]byte, error) {
+		once.Do(func() { close(entered) })
+		<-release
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	// Client with a CallTimeout far beyond the test: if Close does not
+	// unblock the call, the test times out instead of sneaking past via
+	// the deadline.
+	cli := NewTCPConfig(TCPConfig{CallTimeout: 10 * time.Minute})
+	callDone := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(addr, []byte("stall"))
+		callDone <- err
+	}()
+	<-entered // the request reached the handler; the client conn is in flight
+
+	closeDone := make(chan struct{})
+	go func() {
+		cli.Close()
+		close(closeDone)
+	}()
+	select {
+	case err := <-callDone:
+		if err == nil {
+			t.Fatal("in-flight call returned success after transport Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call still blocked 5s after Close — in-flight client conn leaked")
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	// Everything is deregistered: no idle conns, later calls fail fast.
+	if n := cli.IdleConns(); n != 0 {
+		t.Fatalf("%d idle conns after Close", n)
+	}
+	if _, err := cli.Call(addr, []byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestTCPInflightTrackingBalanced verifies the in-flight set empties out
+// on every Call path (success, handler error, transport error), so Close
+// never closes a connection some earlier call abandoned in the map.
+func TestTCPInflightTrackingBalanced(t *testing.T) {
+	srv := NewTCP()
+	defer srv.Close()
+	addr, err := srv.Listen("127.0.0.1:0", func(req []byte) ([]byte, error) {
+		if string(req) == "fail" {
+			return nil, errors.New("handler says no")
+		}
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli := NewTCP()
+	defer cli.Close()
+	if _, err := cli.Call(addr, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(addr, []byte("fail")); err == nil {
+		t.Fatal("handler error not surfaced")
+	}
+	srvAddr2 := echoServer(t, srv)
+	if _, err := cli.Call(srvAddr2, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	cli.mu.Lock()
+	n := len(cli.inflight)
+	cli.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d connections stuck in the in-flight set", n)
+	}
+}
