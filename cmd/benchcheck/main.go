@@ -14,6 +14,16 @@
 // hardware varies between the machine that committed the baseline and
 // the one checking it, while the counter gates stay tight (the counters
 // are exactly reproducible from the seed).
+//
+// When both reports carry a "coordinator" section (hdkbench -connect
+// -coordinator -clients N against a live cluster), it is compared too:
+// the cold-pass counters and the cache proof are deterministic and
+// gated EXACTLY (any drift is a behavior change, not noise), while
+// throughput and p50/p99 latency are wall-clock and gated at
+// -time-tolerance (throughput inverted: lower is the regression). A
+// report may carry only a coordinator section — sweep and coordinator
+// comparisons each run when both sides have the data, and the check
+// fails if neither could be compared.
 package main
 
 import (
@@ -80,34 +90,89 @@ func check(basePath, candPath string, tol, timeTol float64) (regressions []strin
 
 	baseRuns := index(base)
 	candRuns := index(cand)
-	if len(candRuns) == 0 {
-		return nil, 0, fmt.Errorf("candidate %s holds no HDK runs", candPath)
+	if len(candRuns) == 0 && cand.Coordinator == nil {
+		return nil, 0, fmt.Errorf("candidate %s holds no HDK runs and no coordinator section", candPath)
 	}
-	for key, b := range baseRuns {
-		c, ok := candRuns[key]
-		if !ok {
-			regressions = append(regressions,
-				fmt.Sprintf("run %+v present in baseline but missing from candidate", key))
-			continue
-		}
-		compared++
-		checkMetric := func(name string, bv, cv, t float64) {
-			if bv <= 0 {
-				return
-			}
-			if cv > bv*(1+t) {
+	if len(baseRuns) > 0 && len(candRuns) > 0 {
+		for key, b := range baseRuns {
+			c, ok := candRuns[key]
+			if !ok {
 				regressions = append(regressions,
-					fmt.Sprintf("%+v %s: %.4g -> %.4g (+%.1f%%, tolerance %.0f%%)",
-						key, name, bv, cv, 100*(cv/bv-1), 100*t))
+					fmt.Sprintf("run %+v present in baseline but missing from candidate", key))
+				continue
 			}
+			compared++
+			checkMetric := func(name string, bv, cv, t float64) {
+				if bv <= 0 {
+					return
+				}
+				if cv > bv*(1+t) {
+					regressions = append(regressions,
+						fmt.Sprintf("%+v %s: %.4g -> %.4g (+%.1f%%, tolerance %.0f%%)",
+							key, name, bv, cv, 100*(cv/bv-1), 100*t))
+				}
+			}
+			checkMetric("QueryRPCsAvg", b.QueryRPCsAvg, c.QueryRPCsAvg, tol)
+			checkMetric("QueryProbesAvg", b.QueryProbesAvg, c.QueryProbesAvg, tol)
+			checkMetric("QueryPostingsAvg", b.QueryPostingsAvg, c.QueryPostingsAvg, tol)
+			checkMetric("BuildNanos", float64(b.BuildNanos), float64(c.BuildNanos), timeTol)
+			checkMetric("QueryNanosAvg", b.QueryNanosAvg, c.QueryNanosAvg, timeTol)
 		}
-		checkMetric("QueryRPCsAvg", b.QueryRPCsAvg, c.QueryRPCsAvg, tol)
-		checkMetric("QueryProbesAvg", b.QueryProbesAvg, c.QueryProbesAvg, tol)
-		checkMetric("QueryPostingsAvg", b.QueryPostingsAvg, c.QueryPostingsAvg, tol)
-		checkMetric("BuildNanos", float64(b.BuildNanos), float64(c.BuildNanos), timeTol)
-		checkMetric("QueryNanosAvg", b.QueryNanosAvg, c.QueryNanosAvg, timeTol)
+	}
+	if coordRegs, coordCompared := checkCoordinator(base.Coordinator, cand.Coordinator, timeTol); coordCompared {
+		regressions = append(regressions, coordRegs...)
+		compared++
+	}
+	if compared == 0 {
+		return nil, 0, fmt.Errorf("nothing comparable: baseline %s and candidate %s share no sweep runs or coordinator section", basePath, candPath)
 	}
 	return regressions, compared, nil
+}
+
+// checkCoordinator compares the node-side serving measurements when
+// both reports carry them. The cold-pass counters and the cache proof
+// are deterministic given the same scale/cluster shape, so they are
+// gated exactly; throughput and latency are wall-clock and get the
+// wide time tolerance (throughput gated on the LOW side — fewer
+// queries per second is the regression).
+func checkCoordinator(b, c *experiments.CoordReport, timeTol float64) (regressions []string, compared bool) {
+	if b == nil || c == nil {
+		return nil, false
+	}
+	if b.Nodes != c.Nodes || b.Replicas != c.Replicas || b.Docs != c.Docs ||
+		b.Queries != c.Queries || b.Clients != c.Clients || b.DFMax != c.DFMax {
+		return []string{fmt.Sprintf(
+			"coordinator shape differs: baseline %d nodes/R=%d/%d docs/%d queries/%d clients/DFmax=%d, candidate %d/%d/%d/%d/%d/%d — not comparable",
+			b.Nodes, b.Replicas, b.Docs, b.Queries, b.Clients, b.DFMax,
+			c.Nodes, c.Replicas, c.Docs, c.Queries, c.Clients, c.DFMax)}, true
+	}
+	exact := func(name string, bv, cv float64) {
+		if bv != cv {
+			regressions = append(regressions,
+				fmt.Sprintf("coordinator %s: %.4g -> %.4g (deterministic counter, must match exactly)", name, bv, cv))
+		}
+	}
+	exact("ColdRPCsAvg", b.ColdRPCsAvg, c.ColdRPCsAvg)
+	exact("ColdProbesAvg", b.ColdProbesAvg, c.ColdProbesAvg)
+	exact("ColdPostingsAvg", b.ColdPostingsAvg, c.ColdPostingsAvg)
+	exact("WarmCached", float64(b.WarmCached), float64(c.WarmCached))
+	exact("WarmFetchRPCs", float64(b.WarmFetchRPCs), float64(c.WarmFetchRPCs))
+	slow := func(name string, bv, cv float64) {
+		if bv > 0 && cv > bv*(1+timeTol) {
+			regressions = append(regressions,
+				fmt.Sprintf("coordinator %s: %.4g -> %.4g (+%.1f%%, time tolerance %.0f%%)",
+					name, bv, cv, 100*(cv/bv-1), 100*timeTol))
+		}
+	}
+	slow("ColdNanosAvg", b.ColdNanosAvg, c.ColdNanosAvg)
+	slow("LatencyP50Nanos", float64(b.LatencyP50Nanos), float64(c.LatencyP50Nanos))
+	slow("LatencyP99Nanos", float64(b.LatencyP99Nanos), float64(c.LatencyP99Nanos))
+	if b.ThroughputQPS > 0 && c.ThroughputQPS < b.ThroughputQPS/(1+timeTol) {
+		regressions = append(regressions,
+			fmt.Sprintf("coordinator ThroughputQPS: %.4g -> %.4g (-%.1f%%, time tolerance %.0f%%)",
+				b.ThroughputQPS, c.ThroughputQPS, 100*(1-c.ThroughputQPS/b.ThroughputQPS), 100*timeTol))
+	}
+	return regressions, true
 }
 
 func index(rep *experiments.BenchReport) map[runKey]experiments.HDKStep {

@@ -11,6 +11,7 @@
 //	hdkbench [-scale small|medium|paper] [-experiment all|table1|table2|fig2|...|fig8|avail]
 //	         [-fanout N] [-replicas R[,R...]] [-kill F] [-json PATH] [-quiet]
 //	hdkbench -connect HOST:PORT [-scale ...] [-replicas R] [-json PATH]
+//	hdkbench -connect HOST:PORT -coordinator [-clients N] [-json PATH]
 //
 // The small scale finishes in seconds, medium in minutes; paper runs the
 // verbatim Table 2 parameters (hours in one process). -json additionally
@@ -22,7 +23,10 @@
 // discovers the hdknode cluster behind the given daemon address, builds
 // the scale's collection over pooled TCP (DocsPerPeer documents per
 // daemon, first DFmax) and reports build/query wall-clock, per-query RPC
-// costs and wire/connection-pool traffic.
+// costs and wire/connection-pool traffic. Adding -coordinator benches
+// the node-side serving path: every query is one hdk.search RPC, and
+// -clients N closed-loop clients measure throughput and p50/p99 latency
+// on top of deterministic cold-pass counters and a result-cache proof.
 package main
 
 import (
@@ -45,12 +49,14 @@ func main() {
 	kill := flag.Float64("kill", 0.2, "fraction of nodes crashed by the avail experiment")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this path")
 	connect := flag.String("connect", "", "address of any hdknode daemon: bench a live multi-process cluster instead of the in-process sweep")
+	coordinator := flag.Bool("coordinator", false, "with -connect: bench the node-side hdk.search path (one RPC per query) instead of the fat client")
+	clients := flag.Int("clients", 4, "with -coordinator: concurrent closed-loop clients for the throughput/latency phase")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
-	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *kill, *fanout, *quiet, setFlags); err != nil {
+	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *kill, *fanout, *clients, *coordinator, *quiet, setFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hdkbench:", err)
 		os.Exit(1)
 	}
@@ -72,7 +78,7 @@ func parseReplicas(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill float64, fanout int, quiet bool, setFlags map[string]bool) error {
+func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill float64, fanout, clients int, coordinator, quiet bool, setFlags map[string]bool) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -97,6 +103,12 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	if coordinator && connect == "" {
+		return fmt.Errorf("-coordinator requires -connect (only daemons coordinate)")
+	}
+	if setFlags["clients"] && !coordinator {
+		return fmt.Errorf("-clients applies to the -coordinator bench only")
+	}
 	if connect != "" {
 		// The live-cluster bench has no experiment selection, fabric
 		// choice or kill sweep; reject those flags rather than silently
@@ -115,6 +127,20 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 		}
 		tr := transport.NewTCP()
 		defer tr.Close()
+		if coordinator {
+			rep, err := experiments.CoordBench(tr, connect, scale, r, clients, progress)
+			if err != nil {
+				return err
+			}
+			rep.Fprint(os.Stdout)
+			if jsonPath != "" {
+				// The BenchReport wrapper (steps absent, coordinator set)
+				// keeps the artifact comparable by cmd/benchcheck next to
+				// the sweep baselines.
+				return experiments.WriteJSON(jsonPath, &experiments.BenchReport{Scale: scale, Coordinator: rep})
+			}
+			return nil
+		}
 		rep, err := experiments.ConnectBench(tr, connect, scale, r, progress)
 		if err != nil {
 			return err

@@ -5,6 +5,14 @@
 // hdknode processes plus a thin client (hdksearch -connect or hdkbench
 // -connect) that builds and queries the index through them.
 //
+// Every daemon is also a query coordinator: the hdk.search RPC runs the
+// whole lattice traversal node-side against the daemon's own membership
+// view (replica failover included), so a thin client pays one RPC per
+// query instead of orchestrating the fan-out itself (hdksearch -connect
+// -coordinator). Coordinations are bounded by a worker pool
+// (-search-workers) and answered from a per-node query-result LRU
+// (-search-cache) that every locally served index mutation invalidates.
+//
 // Usage:
 //
 //	hdknode -listen 127.0.0.1:7001                     # first node
@@ -48,15 +56,17 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (empty: index lives in RAM only)")
 	fsync := flag.String("fsync", "always", "op-log fsync policy with -data: always|batch|never")
 	compactBytes := flag.Int64("compact-bytes", 0, "op-log size triggering snapshot compaction (0: 4 MiB default, <0: only on shutdown)")
+	searchWorkers := flag.Int("search-workers", 0, "concurrent hdk.search coordinations this daemon runs (0: default 8; excess requests queue)")
+	searchCache := flag.Int("search-cache", -1, "query-result cache entries (-1: default 1024, 0: disable result caching)")
 	flag.Parse()
 
-	if err := run(*listen, *join, *replicas, *callTimeout, *dataDir, *fsync, *compactBytes); err != nil {
+	if err := run(*listen, *join, *replicas, *callTimeout, *dataDir, *fsync, *compactBytes, *searchWorkers, *searchCache); err != nil {
 		fmt.Fprintln(os.Stderr, "hdknode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, fsync string, compactBytes int64) error {
+func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, fsync string, compactBytes int64, searchWorkers, searchCache int) error {
 	var dur *durable.Store
 	if dataDir != "" {
 		policy, err := durable.ParsePolicy(fsync)
@@ -73,6 +83,7 @@ func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, 
 	if err != nil {
 		return err
 	}
+	srv.ConfigureSearch(searchWorkers, searchCache)
 	if dur != nil {
 		// Replay snapshot + op log BEFORE joining: a warm daemon
 		// announces itself already holding its restored key inventory.

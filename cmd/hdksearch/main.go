@@ -6,7 +6,7 @@
 // Usage:
 //
 //	hdksearch [-docs N] [-peers N] [-dfmax N] [-topk N] [-fanout N] [-replicas R]
-//	hdksearch -connect HOST:PORT [-forget HOST:PORT] [-docs N] [-dfmax N] ...
+//	hdksearch -connect HOST:PORT [-coordinator] [-forget HOST:PORT] [-docs N] ...
 //
 // By default the peer network is simulated in-process. With -connect the
 // shell becomes the thin client of a REAL cluster: it discovers the
@@ -14,7 +14,10 @@
 // configuration, builds the index across the separate OS processes over
 // pooled TCP, and serves queries from their stores (-peers is ignored —
 // the cluster size decides; -replicas defaults to the factor the daemons
-// advertise).
+// advertise). With -coordinator each query is ONE hdk.search RPC to the
+// -connect daemon, which runs the whole lattice traversal node-side and
+// may answer from its query-result cache; without it the shell
+// orchestrates the fan-out itself.
 //
 // Type a query (space-separated terms from the printed sample
 // vocabulary), or one of the commands:
@@ -48,6 +51,7 @@ func main() {
 	fanout := flag.Int("fanout", 4, "concurrent per-owner fetch RPCs per lattice level")
 	replicas := flag.Int("replicas", 1, "R-way key replication factor (searches fail over between replicas)")
 	connect := flag.String("connect", "", "address of any hdknode daemon: build and query a running multi-process cluster")
+	coordinator := flag.Bool("coordinator", false, "with -connect: send each query as ONE hdk.search RPC and let the daemon coordinate the traversal")
 	forget := flag.String("forget", "", "with -connect: drop this dead member's address from the cluster membership before building")
 	flag.Parse()
 	replicasSet := false
@@ -57,15 +61,18 @@ func main() {
 		}
 	})
 
-	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas, *connect, *forget, replicasSet); err != nil {
+	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas, *connect, *forget, *coordinator, replicasSet); err != nil {
 		fmt.Fprintln(os.Stderr, "hdksearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string, replicasSet bool) error {
+func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string, coordinator, replicasSet bool) error {
 	if forget != "" && connect == "" {
 		return fmt.Errorf("-forget requires -connect (it edits a live cluster's membership)")
+	}
+	if coordinator && connect == "" {
+		return fmt.Errorf("-coordinator requires -connect (daemons coordinate, the in-process engine queries directly)")
 	}
 	p := corpus.DefaultGenParams(docs)
 	p.AvgDocLen = 80
@@ -182,12 +189,24 @@ func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string,
 			fmt.Println("no known terms in query")
 			continue
 		}
-		res, err := eng.Search(q, origin, topk)
+		var res *core.SearchResult
+		cost := ""
+		if coordinator {
+			// One RPC: the daemon behind -connect coordinates the whole
+			// traversal and may answer straight from its result cache.
+			var cached bool
+			res, cached, err = clu.SearchVia(connect, core.SearchRequest{Terms: eng.QueryTerms(q), K: topk})
+			if cached {
+				cost = " [coordinator cache]"
+			}
+		} else {
+			res, err = eng.Search(q, origin, topk)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%d results | probed %d keys, found %d, fetched %d postings | %d batched RPCs over %d levels\n",
-			len(res.Results), res.ProbedKeys, res.FoundKeys, res.FetchedPosts, res.RPCs, res.Rounds)
+		fmt.Printf("%d results | probed %d keys, found %d, fetched %d postings | %d batched RPCs over %d levels%s\n",
+			len(res.Results), res.ProbedKeys, res.FoundKeys, res.FetchedPosts, res.RPCs, res.Rounds, cost)
 		for i, r := range res.Results {
 			fmt.Printf("%2d. doc %-6d score %.3f\n", i+1, r.Doc, r.Score)
 		}

@@ -23,10 +23,22 @@
 // append-only op log with threshold compaction), so a killed process
 // restarts warm: it restores its store fraction from its data directory,
 // rejoins on its original ring position, and pulls only the delta it
-// missed instead of re-indexing or re-replicating. See README.md for
-// build, test and benchmark instructions, an overview of the batched
-// query path, the replication/failure model, "Running a real cluster",
-// and "Durability".
+// missed instead of re-indexing or re-replicating.
+//
+// Every daemon is also a query coordinator: the hdk.search RPC runs the
+// engine's level-parallel lattice traversal node-side — one RPC per
+// query from a thin client (hdksearch -connect -coordinator), with
+// replica failover, a worker-pool admission bound and a per-node
+// query-result cache that locally served index mutations invalidate
+// (core.Coordinator + cluster.Server). Coordinated answers are verified
+// bit-identical to the in-process engine's by a CI gate against real
+// child processes.
+//
+// ARCHITECTURE.md maps the paper's sections onto the packages and walks
+// a coordinated query and an insert through the system. See README.md
+// for build, test and benchmark instructions, an overview of the
+// batched query path, the replication/failure model, "Running a real
+// cluster", "Durability", and the cluster operations guide.
 //
 // The root package only anchors the repository-level benchmarks in
 // bench_test.go; the implementation lives under internal/.

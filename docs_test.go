@@ -1,0 +1,102 @@
+package repro
+
+// Documentation lint: ARCHITECTURE.md is a maintained map of the whole
+// repository, so these tests fail the build when it goes stale — a new
+// internal package must be added to the map, and the links from
+// README.md and doc.go must survive edits. They also enforce that every
+// internal package keeps a godoc package comment.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// internalPackages returns the import-path-relative names of every
+// directory under internal/ that contains Go code.
+func internalPackages(t *testing.T) []string {
+	t.Helper()
+	var pkgs []string
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				pkgs = append(pkgs, filepath.ToSlash(path))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("found only %d internal packages — lint walking broken?", len(pkgs))
+	}
+	return pkgs
+}
+
+// TestArchitectureDocCoversEveryPackage requires ARCHITECTURE.md to
+// name every internal package.
+func TestArchitectureDocCoversEveryPackage(t *testing.T) {
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("ARCHITECTURE.md missing: %v", err)
+	}
+	text := string(arch)
+	for _, pkg := range internalPackages(t) {
+		if !strings.Contains(text, pkg) {
+			t.Errorf("ARCHITECTURE.md does not mention %s — update the package map", pkg)
+		}
+	}
+}
+
+// TestArchitectureDocIsLinked requires README.md and doc.go to point at
+// ARCHITECTURE.md.
+func TestArchitectureDocIsLinked(t *testing.T) {
+	for _, f := range []string{"README.md", "doc.go"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "ARCHITECTURE.md") {
+			t.Errorf("%s does not link ARCHITECTURE.md", f)
+		}
+	}
+}
+
+// TestEveryInternalPackageHasGodoc requires a package-level doc comment
+// ("// Package <name> ...") somewhere in each internal package.
+func TestEveryInternalPackageHasGodoc(t *testing.T) {
+	for _, pkg := range internalPackages(t) {
+		ents, err := os.ReadDir(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented := false
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(pkg, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(data), "\n// Package ") || strings.HasPrefix(string(data), "// Package ") {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("%s has no package doc comment", pkg)
+		}
+	}
+}

@@ -1,9 +1,20 @@
-// Package cache provides a small LRU used for query-side posting-list
-// caching — one of the retrieval-cost mitigations the paper's related
-// work proposes for distributed indexes ("top-k posting list joins,
-// Bloom filters, and caching as promising techniques to reduce search
-// costs"). The HDK engine offers it as an opt-in: cached keys answer
-// repeat queries with zero network postings.
+// Package cache provides the small generic LRU behind the repository's
+// two retrieval caches — the mitigation the paper's related work
+// proposes for distributed indexes ("top-k posting list joins, Bloom
+// filters, and caching as promising techniques to reduce search
+// costs") and the cache-size literature in PAPERS.md studies for DHT
+// designs:
+//
+//   - the engine's opt-in query-side fetch cache
+//     (core.Engine.EnableQueryCache): memoized fetch responses answer
+//     repeat probes with zero network postings;
+//   - the cluster daemon's per-node query-result cache
+//     (cluster.Server, the hdk.search path): whole coordinated answers
+//     keyed by the canonical request bytes, invalidated through the
+//     store's write-through mutation hook.
+//
+// The LRU is concurrency-safe and carries cumulative hit/miss counters,
+// surfaced by cluster.info and the coordinator bench.
 package cache
 
 import (

@@ -108,6 +108,55 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestConcurrentMutationAndLookup drives every mutating operation
+// (Put, Invalidate, Clear) against concurrent lookups (Get, Len, Stats)
+// under the race detector — the access pattern of a cluster daemon
+// whose mutation hook clears the result cache while coordinations are
+// reading and filling it.
+func TestConcurrentMutationAndLookup(t *testing.T) {
+	c := NewLRU[[]byte](32)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		// Readers: lookups plus counter reads.
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 800; i++ {
+				key := fmt.Sprintf("k%d", (w*13+i)%50)
+				if v, ok := c.Get(key); ok && len(v) == 0 {
+					t.Error("cached value lost its contents")
+					return
+				}
+				c.Len()
+				c.Stats()
+			}
+		}(w)
+		// Writers: fills racing invalidation, both per-key and global.
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 800; i++ {
+				key := fmt.Sprintf("k%d", (w*17+i)%50)
+				switch i % 5 {
+				case 0, 1, 2:
+					c.Put(key, []byte(key))
+				case 3:
+					c.Invalidate(key)
+				case 4:
+					c.Clear()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits+misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}
+
 func TestCapacityOne(t *testing.T) {
 	c := NewLRU[int](1)
 	c.Put("a", 1)

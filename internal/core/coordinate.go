@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/postings"
+	"repro/internal/rank"
+	"repro/internal/replica"
+)
+
+// This file hosts the query coordination path as a standalone unit: the
+// level-synchronous, batched, parallel lattice traversal that
+// Engine.Search has always run, factored so it needs neither peers nor a
+// vocabulary — only a fabric, the model parameters and the query's
+// canonical term strings. The Engine delegates to it (terms rendered
+// through its vocabulary), and the cluster daemon runs it directly as
+// the hdk.search coordinator: a thin client ships ONE RPC with the
+// pre-rendered terms, and the daemon traverses the lattice against its
+// own membership table. Both callers execute literally the same
+// traversal code, so a coordinated answer cannot drift from a
+// client-orchestrated one.
+
+// Coordinator runs coordinated searches over a fabric without an Engine
+// — the daemon-side query path of the multi-process deployment. Net is
+// typically a cluster client built over the daemon's own membership
+// view; Cfg supplies SMax, SearchFanout and ReplicationFactor (the
+// daemon uses the configuration the building client shipped, so
+// coordination agrees with placement). Cache, when non-nil, memoizes
+// fetch responses across queries (the Engine's query-side cache; the
+// cluster daemon instead caches whole results one layer up). Traffic,
+// when non-nil, receives the global counters.
+type Coordinator struct {
+	Net     overlay.Fabric
+	Cfg     Config
+	From    overlay.Member // origin member for Route calls; may be nil on one-hop fabrics
+	Cache   *cache.LRU[cachedFetch]
+	Traffic *Traffic
+}
+
+// Search maps pre-rendered query terms onto the lattice of their
+// subsets and probes the index, returning the ranked answer and the
+// per-query cost metrics. terms must be the canonical wire form the
+// engine produces (Engine.QueryTerms): deduplicated, very-frequent
+// terms dropped, ascending TermID order — the order decides candidate
+// enumeration and therefore score accumulation, so a coordinator fed
+// the same terms returns bit-identical results to the client engine.
+func (c *Coordinator) Search(terms []string, k int) (*SearchResult, error) {
+	traffic := c.Traffic
+	if traffic == nil {
+		traffic = &Traffic{}
+	}
+	ls := &latticeSearch{
+		net:      c.Net,
+		from:     c.From,
+		replicas: replicasOf(c.Cfg),
+		fanout:   fanoutOf(c.Cfg),
+		cache:    c.Cache,
+		traffic:  traffic,
+	}
+	maxSize := c.Cfg.SMax
+	if len(terms) < maxSize {
+		maxSize = len(terms)
+	}
+	return ls.run(terms, maxSize, k)
+}
+
+// QueryTerms renders a query into the coordinator wire form: the
+// canonical strings of its distinct, non-very-frequent terms in
+// ascending TermID order. This is exactly the preprocessing
+// Engine.Search applies before the traversal, exposed so a thin client
+// can hand a coordinator the same term list the engine itself would
+// probe with.
+func (e *Engine) QueryTerms(q corpus.Query) []string {
+	terms := dedupTerms(q.Terms)
+	out := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if int(t) < len(e.vf) && !e.vf[t] {
+			out = append(out, e.vocab[t])
+		}
+	}
+	return out
+}
+
+func replicasOf(cfg Config) int {
+	if cfg.ReplicationFactor < 1 {
+		return 1
+	}
+	return cfg.ReplicationFactor
+}
+
+func fanoutOf(cfg Config) int {
+	if cfg.SearchFanout < 1 {
+		return 1
+	}
+	return cfg.SearchFanout
+}
+
+// latticeSearch is the per-query traversal state shared by Engine.Search
+// and Coordinator.Search: the fabric to probe, the failover and fan-out
+// parameters, the optional fetch-response cache and the counters.
+type latticeSearch struct {
+	net      overlay.Fabric
+	from     overlay.Member
+	replicas int
+	fanout   int
+	cache    *cache.LRU[cachedFetch]
+	traffic  *Traffic
+}
+
+// run traverses the lattice of term subsets level-synchronously: each
+// level's candidates survive subsumption pruning against the previous
+// level, their owners resolve in one routing pass, and every owner
+// receives a single multi-key fetch RPC — at most fanout in flight.
+// Found keys' bounded posting lists are unioned in candidate order (so
+// the ranked answer is identical at any fan-out) and ranked.
+func (ls *latticeSearch) run(terms []string, maxSize, k int) (*SearchResult, error) {
+	res := &SearchResult{}
+	status := make(map[string]KeyStatus)
+	var acc postings.List
+	for size := 1; size <= maxSize; size++ {
+		level := levelCandidates(terms, size, status)
+		if len(level) == 0 {
+			// No key of this size survives pruning, so no superset can be
+			// stored either: the traversal is done.
+			break
+		}
+		res.Rounds++
+		rpcsBefore := res.RPCs
+		outcomes, err := ls.probeLevel(level, res)
+		if err != nil {
+			return nil, err
+		}
+		ls.traffic.ProbesBySize[size].Add(uint64(len(outcomes)))
+		ls.traffic.FetchRPCsBySize[size].Add(uint64(res.RPCs - rpcsBefore))
+		// Accumulate in candidate-enumeration order: float score addition
+		// is order-sensitive, so this keeps parallel fan-out bit-identical
+		// to a serial probe sequence.
+		for _, o := range outcomes {
+			res.ProbedKeys++
+			status[o.canonical] = o.status
+			if !o.fromCache && ls.cache != nil {
+				ls.cache.Put(o.canonical, cachedFetch{status: o.status, list: o.list})
+			}
+			if o.status == StatusAbsent {
+				continue
+			}
+			res.FoundKeys++
+			if !o.fromCache {
+				res.FetchedPosts += uint64(len(o.list))
+			}
+			acc = postings.Union(acc, o.list)
+		}
+	}
+	ls.traffic.FetchedPosts.Add(res.FetchedPosts)
+	ls.traffic.ProbeMessages.Add(uint64(res.ProbedKeys))
+	ls.traffic.FetchRPCs.Add(uint64(res.RPCs))
+	ls.traffic.QueryRounds.Add(uint64(res.Rounds))
+	ls.traffic.SearchFailovers.Add(uint64(res.Failovers))
+	res.Results = rank.TopKByScore(acc, k)
+	return res, nil
+}
+
+// levelCandidates enumerates the size-`size` subsets of the ordered
+// query terms that survive subsumption pruning, as canonical key
+// strings. Pruning consults only the previous level's statuses, which
+// is what makes the traversal level-synchronous: within a level every
+// candidate can be probed independently.
+func levelCandidates(terms []string, size int, status map[string]KeyStatus) []string {
+	var out []string
+	idxs := make([]int, 0, size)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(idxs) == size {
+			if size > 1 && !allSubkeysND(terms, idxs, status) {
+				return // subsumption pruning
+			}
+			out = append(out, canonicalKey(terms, idxs, -1))
+			return
+		}
+		for i := start; i < len(terms); i++ {
+			idxs = append(idxs, i)
+			rec(i + 1)
+			idxs = idxs[:len(idxs)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// canonicalKey joins the selected terms into the key's DHT wire form,
+// skipping the position `drop` (-1 keeps every index). terms are in
+// ascending TermID order, so the join equals Key.CanonicalString.
+func canonicalKey(terms []string, idxs []int, drop int) string {
+	kept := make([]string, 0, len(idxs))
+	for pos, i := range idxs {
+		if pos == drop {
+			continue
+		}
+		kept = append(kept, terms[i])
+	}
+	if len(kept) == 1 {
+		return kept[0]
+	}
+	return strings.Join(kept, keySeparator)
+}
+
+// allSubkeysND prunes the retrieval lattice: a key can only be stored if
+// every immediate sub-key is non-discriminative (an HDK sub-key means
+// redundancy filtering dropped the superset; an absent sub-key means the
+// superset cannot occur).
+func allSubkeysND(terms []string, idxs []int, status map[string]KeyStatus) bool {
+	for drop := range idxs {
+		if status[canonicalKey(terms, idxs, drop)] != StatusNDK {
+			return false
+		}
+	}
+	return true
+}
+
+// probeOutcome is one candidate key's answer during a level probe.
+type probeOutcome struct {
+	canonical string
+	status    KeyStatus
+	list      postings.List
+	fromCache bool
+}
+
+// probeState tracks one pending key's failover position: the outcome
+// slot it fills and the replica addresses left to try, current first.
+type probeState struct {
+	idx    int
+	owners []string
+}
+
+// replicaChain returns a key's ordered replica addresses — the routed
+// primary first (when routing succeeded), then the resolver's remaining
+// owners. Both the insert fan-out and the fetch failover walk this same
+// chain, so write placement and read failover can never diverge. When
+// routing and the resolver agree (the steady state) the chain is exactly
+// the R-member replica set; a routed address the resolver no longer
+// names (membership changed between the routing walk and the resolver
+// lookup) is kept as an extra leading entry rather than displacing a
+// legitimate owner. An empty routedAddr (route failure) falls back to
+// the placement ground truth alone; the result is empty only on an
+// empty overlay.
+func replicaChain(net overlay.Fabric, r int, routedAddr, canonical string) []string {
+	if routedAddr != "" && r == 1 {
+		return []string{routedAddr}
+	}
+	chain := make([]string, 0, r+1)
+	if routedAddr != "" {
+		chain = append(chain, routedAddr)
+	}
+	for _, m := range replica.Owners(net, canonical, r) {
+		if addr := m.Addr(); addr != routedAddr {
+			chain = append(chain, addr)
+		}
+	}
+	return chain
+}
+
+// probeLevel resolves one lattice level: cache hits answer locally, the
+// remaining keys are routed to their owners in one parallel pass, grouped
+// per owner, and fetched with one batched RPC per owner — at most
+// fanout in flight. A batch whose owner fails (unreachable after
+// transport retries, departed, or answering garbage) is re-sent to the
+// keys' next replica — successive waves walk each key's replica set until
+// a copy answers or every replica is exhausted; each re-sent batch counts
+// one Failover. Workers fill disjoint outcome slots; the slice comes back
+// in candidate order so accumulation stays deterministic regardless of
+// which replica answered.
+func (ls *latticeSearch) probeLevel(level []string, res *SearchResult) ([]probeOutcome, error) {
+	outcomes := make([]probeOutcome, len(level))
+	var pending []int // outcome slots needing a network fetch
+	for i, canonical := range level {
+		outcomes[i] = probeOutcome{canonical: canonical}
+		if ls.cache != nil {
+			if hit, ok := ls.cache.Get(canonical); ok {
+				outcomes[i].status = hit.status
+				outcomes[i].list = hit.list
+				outcomes[i].fromCache = true
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return outcomes, nil
+	}
+	fanout := ls.fanout
+
+	// One routing pass: resolve every pending key's primary owner
+	// concurrently, and its full replica set for failover. Routing
+	// errors are themselves failed over to the placement ground truth:
+	// the resolver knows the owners without a network walk.
+	states := make([]probeState, len(pending))
+	routeErrs := make([]error, len(pending))
+	forEachLimit(len(pending), fanout, func(j int) {
+		canonical := outcomes[pending[j]].canonical
+		routedAddr := ""
+		owner, _, err := ls.net.Route(ls.from, canonical)
+		if err == nil {
+			routedAddr = owner.Addr()
+		}
+		chain := replicaChain(ls.net, ls.replicas, routedAddr, canonical)
+		if len(chain) == 0 {
+			routeErrs[j] = err
+			return
+		}
+		states[j] = probeState{idx: pending[j], owners: chain}
+	})
+	for _, err := range routeErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Fetch waves: wave 0 contacts every key's current owner; keys whose
+	// batch failed advance to their next replica and go into the next
+	// wave. At most len(chain) waves, so the walk always terminates.
+	for wave := 0; len(states) > 0; wave++ {
+		// Group per current owner, preserving candidate order both
+		// across batches and inside each batch.
+		byOwner := make(map[string][]probeState, len(states))
+		var addrs []string
+		for _, st := range states {
+			addr := st.owners[0]
+			if _, ok := byOwner[addr]; !ok {
+				addrs = append(addrs, addr)
+			}
+			byOwner[addr] = append(byOwner[addr], st)
+		}
+
+		fetchErrs := make([]error, len(addrs))
+		forEachLimit(len(addrs), fanout, func(j int) {
+			batch := byOwner[addrs[j]]
+			idxs := make([]int, len(batch))
+			for i, st := range batch {
+				idxs[i] = st.idx
+			}
+			fetchErrs[j] = ls.fetchOwnerBatch(addrs[j], idxs, outcomes)
+		})
+		res.RPCs += len(addrs)
+		if wave > 0 {
+			res.Failovers += len(addrs)
+		}
+
+		var retry []probeState
+		for j, addr := range addrs {
+			if fetchErrs[j] == nil {
+				continue
+			}
+			for _, st := range byOwner[addr] {
+				if len(st.owners) <= 1 {
+					return nil, fmt.Errorf("core: fetch %q: all %d replicas failed: %w",
+						outcomes[st.idx].canonical, ls.replicas, fetchErrs[j])
+				}
+				retry = append(retry, probeState{idx: st.idx, owners: st.owners[1:]})
+			}
+		}
+		states = retry
+	}
+	return outcomes, nil
+}
+
+// fetchOwnerBatch issues one multi-key fetch to an index node and fills
+// the outcome slots assigned to it.
+func (ls *latticeSearch) fetchOwnerBatch(addr string, idxs []int, outcomes []probeOutcome) error {
+	keys := make([]string, len(idxs))
+	for i, idx := range idxs {
+		keys[i] = outcomes[idx].canonical
+	}
+	raw, err := ls.net.CallService(addr, SvcFetchBatch, encodeFetchBatchReq(keys))
+	if err != nil {
+		return err
+	}
+	results, err := decodeFetchBatchResp(raw)
+	if err != nil {
+		return err
+	}
+	if len(results) != len(keys) {
+		return fmt.Errorf("%w: %d answers for %d keys", errCorruptRPC, len(results), len(keys))
+	}
+	for i, r := range results {
+		if r.key != keys[i] {
+			return fmt.Errorf("%w: answer for key %q, want %q", errCorruptRPC, r.key, keys[i])
+		}
+		outcomes[idxs[i]].status = r.status
+		outcomes[idxs[i]].list = r.list
+	}
+	return nil
+}

@@ -173,32 +173,13 @@ func (e *Engine) replicas() int {
 	return e.cfg.ReplicationFactor
 }
 
-// replicaChain returns a key's ordered replica addresses — the routed
-// primary first (when routing succeeded), then the resolver's remaining
-// owners. Both the insert fan-out and the fetch failover walk this same
-// chain, so write placement and read failover can never diverge. When
-// routing and the resolver agree (the steady state) the chain is exactly
-// the R-member replica set; a routed address the resolver no longer
-// names (membership changed between the routing walk and the resolver
-// lookup) is kept as an extra leading entry rather than displacing a
-// legitimate owner. An empty routedAddr (route failure) falls back to
-// the placement ground truth alone; the result is empty only on an
-// empty overlay.
+// replicaChain returns a key's ordered replica addresses for this
+// engine's fabric and replication factor (see the package-level
+// replicaChain in coordinate.go, which the search path shares with the
+// daemon-side coordinator). The insert fan-out walks this same chain,
+// so write placement and read failover can never diverge.
 func (e *Engine) replicaChain(routedAddr, canonical string) []string {
-	r := e.replicas()
-	if routedAddr != "" && r == 1 {
-		return []string{routedAddr}
-	}
-	chain := make([]string, 0, r+1)
-	if routedAddr != "" {
-		chain = append(chain, routedAddr)
-	}
-	for _, m := range replica.Owners(e.net, canonical, r) {
-		if addr := m.Addr(); addr != routedAddr {
-			chain = append(chain, addr)
-		}
-	}
-	return chain
+	return replicaChain(e.net, e.replicas(), routedAddr, canonical)
 }
 
 // AddPeer registers a peer owning the given local collection on an
@@ -433,248 +414,32 @@ type SearchResult struct {
 // every owner receives a single multi-key fetch RPC — at most
 // Config.SearchFanout RPCs in flight. Found keys' bounded posting lists
 // are unioned in candidate order (so the ranked answer is identical at
-// any fan-out) and ranked.
+// any fan-out) and ranked. The traversal itself (latticeSearch in
+// coordinate.go) is shared verbatim with the daemon-side hdk.search
+// coordinator, so a coordinated answer cannot drift from this one.
 func (e *Engine) Search(q corpus.Query, from overlay.Member, k int) (*SearchResult, error) {
-	res := &SearchResult{}
-	maxSize := e.cfg.SMax
-	if len(q.Terms) < maxSize {
-		maxSize = len(q.Terms)
-	}
 	// Deduplicate query terms, drop very frequent ones (they are not in
-	// the key vocabulary, exactly like the single-term stop-word case).
-	terms := dedupTerms(q.Terms)
-	usable := terms[:0:0]
-	for _, t := range terms {
-		if int(t) < len(e.vf) && !e.vf[t] {
-			usable = append(usable, t)
-		}
+	// the key vocabulary, exactly like the single-term stop-word case),
+	// and render them canonically in ascending TermID order.
+	terms := e.QueryTerms(q)
+	maxSize := e.cfg.SMax
+	if len(terms) < maxSize {
+		maxSize = len(terms)
 	}
-	status := make(map[Key]KeyStatus)
-	var acc postings.List
-	for size := 1; size <= maxSize; size++ {
-		level := e.levelCandidates(usable, size, status)
-		if len(level) == 0 {
-			// No key of this size survives pruning, so no superset can be
-			// stored either: the traversal is done.
-			break
-		}
-		res.Rounds++
-		rpcsBefore := res.RPCs
-		outcomes, err := e.probeLevel(level, from, res)
-		if err != nil {
-			return nil, err
-		}
-		e.traffic.ProbesBySize[size].Add(uint64(len(outcomes)))
-		e.traffic.FetchRPCsBySize[size].Add(uint64(res.RPCs - rpcsBefore))
-		// Accumulate in candidate-enumeration order: float score addition
-		// is order-sensitive, so this keeps parallel fan-out bit-identical
-		// to a serial probe sequence.
-		for _, o := range outcomes {
-			res.ProbedKeys++
-			status[o.key] = o.status
-			if !o.fromCache && e.queryCache != nil {
-				e.queryCache.Put(o.canonical, cachedFetch{status: o.status, list: o.list})
-			}
-			if o.status == StatusAbsent {
-				continue
-			}
-			res.FoundKeys++
-			if !o.fromCache {
-				res.FetchedPosts += uint64(len(o.list))
-			}
-			acc = postings.Union(acc, o.list)
-		}
+	ls := &latticeSearch{
+		net:      e.net,
+		from:     from,
+		replicas: e.replicas(),
+		fanout:   e.searchFanout(),
+		cache:    e.queryCache,
+		traffic:  &e.traffic,
 	}
-	e.traffic.FetchedPosts.Add(res.FetchedPosts)
-	e.traffic.ProbeMessages.Add(uint64(res.ProbedKeys))
-	e.traffic.FetchRPCs.Add(uint64(res.RPCs))
-	e.traffic.QueryRounds.Add(uint64(res.Rounds))
-	e.traffic.SearchFailovers.Add(uint64(res.Failovers))
-	res.Results = rank.TopKByScore(acc, k)
-	return res, nil
-}
-
-// levelCandidates enumerates the size-`size` subsets of the usable query
-// terms that survive subsumption pruning. Pruning consults only the
-// previous level's statuses, which is what makes the traversal
-// level-synchronous: within a level every candidate can be probed
-// independently.
-func (e *Engine) levelCandidates(usable []corpus.TermID, size int, status map[Key]KeyStatus) []Key {
-	var out []Key
-	var rec func(start int, cur []corpus.TermID)
-	rec = func(start int, cur []corpus.TermID) {
-		if len(cur) == size {
-			key := NewKey(cur...)
-			if size > 1 && !e.allSubkeysNDStatus(key, status) {
-				return // subsumption pruning
-			}
-			out = append(out, key)
-			return
-		}
-		for i := start; i < len(usable); i++ {
-			rec(i+1, append(cur, usable[i]))
-		}
-	}
-	rec(0, nil)
-	return out
-}
-
-// probeOutcome is one candidate key's answer during a level probe.
-type probeOutcome struct {
-	key       Key
-	canonical string
-	status    KeyStatus
-	list      postings.List
-	fromCache bool
-}
-
-// probeState tracks one pending key's failover position: the outcome
-// slot it fills and the replica addresses left to try, current first.
-type probeState struct {
-	idx    int
-	owners []string
-}
-
-// probeLevel resolves one lattice level: cache hits answer locally, the
-// remaining keys are routed to their owners in one parallel pass, grouped
-// per owner, and fetched with one batched RPC per owner — at most
-// SearchFanout in flight. A batch whose owner fails (unreachable after
-// transport retries, departed, or answering garbage) is re-sent to the
-// keys' next replica — successive waves walk each key's replica set until
-// a copy answers or every replica is exhausted; each re-sent batch counts
-// one Failover. Workers fill disjoint outcome slots; the slice comes back
-// in candidate order so accumulation stays deterministic regardless of
-// which replica answered.
-func (e *Engine) probeLevel(level []Key, from overlay.Member, res *SearchResult) ([]probeOutcome, error) {
-	outcomes := make([]probeOutcome, len(level))
-	var pending []int // outcome slots needing a network fetch
-	for i, key := range level {
-		canonical := key.CanonicalString(e.vocab)
-		outcomes[i] = probeOutcome{key: key, canonical: canonical}
-		if e.queryCache != nil {
-			if hit, ok := e.queryCache.Get(canonical); ok {
-				outcomes[i].status = hit.status
-				outcomes[i].list = hit.list
-				outcomes[i].fromCache = true
-				continue
-			}
-		}
-		pending = append(pending, i)
-	}
-	if len(pending) == 0 {
-		return outcomes, nil
-	}
-	fanout := e.searchFanout()
-
-	// One routing pass: resolve every pending key's primary owner
-	// concurrently, and its full replica set for failover. Routing
-	// errors are themselves failed over to the placement ground truth:
-	// the resolver knows the owners without a network walk.
-	states := make([]probeState, len(pending))
-	routeErrs := make([]error, len(pending))
-	r := e.replicas()
-	forEachLimit(len(pending), fanout, func(j int) {
-		canonical := outcomes[pending[j]].canonical
-		routedAddr := ""
-		owner, _, err := e.net.Route(from, canonical)
-		if err == nil {
-			routedAddr = owner.Addr()
-		}
-		chain := e.replicaChain(routedAddr, canonical)
-		if len(chain) == 0 {
-			routeErrs[j] = err
-			return
-		}
-		states[j] = probeState{idx: pending[j], owners: chain}
-	})
-	for _, err := range routeErrs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Fetch waves: wave 0 contacts every key's current owner; keys whose
-	// batch failed advance to their next replica and go into the next
-	// wave. At most len(chain) waves, so the walk always terminates.
-	for wave := 0; len(states) > 0; wave++ {
-		// Group per current owner, preserving candidate order both
-		// across batches and inside each batch.
-		byOwner := make(map[string][]probeState, len(states))
-		var addrs []string
-		for _, st := range states {
-			addr := st.owners[0]
-			if _, ok := byOwner[addr]; !ok {
-				addrs = append(addrs, addr)
-			}
-			byOwner[addr] = append(byOwner[addr], st)
-		}
-
-		fetchErrs := make([]error, len(addrs))
-		forEachLimit(len(addrs), fanout, func(j int) {
-			batch := byOwner[addrs[j]]
-			idxs := make([]int, len(batch))
-			for i, st := range batch {
-				idxs[i] = st.idx
-			}
-			fetchErrs[j] = e.fetchOwnerBatch(addrs[j], idxs, outcomes)
-		})
-		res.RPCs += len(addrs)
-		if wave > 0 {
-			res.Failovers += len(addrs)
-		}
-
-		var retry []probeState
-		for j, addr := range addrs {
-			if fetchErrs[j] == nil {
-				continue
-			}
-			for _, st := range byOwner[addr] {
-				if len(st.owners) <= 1 {
-					return nil, fmt.Errorf("core: fetch %q: all %d replicas failed: %w",
-						outcomes[st.idx].canonical, r, fetchErrs[j])
-				}
-				retry = append(retry, probeState{idx: st.idx, owners: st.owners[1:]})
-			}
-		}
-		states = retry
-	}
-	return outcomes, nil
-}
-
-// fetchOwnerBatch issues one multi-key fetch to an index node and fills
-// the outcome slots assigned to it.
-func (e *Engine) fetchOwnerBatch(addr string, idxs []int, outcomes []probeOutcome) error {
-	keys := make([]string, len(idxs))
-	for i, idx := range idxs {
-		keys[i] = outcomes[idx].canonical
-	}
-	raw, err := e.net.CallService(addr, svcFetchBatch, encodeFetchBatchReq(keys))
-	if err != nil {
-		return err
-	}
-	results, err := decodeFetchBatchResp(raw)
-	if err != nil {
-		return err
-	}
-	if len(results) != len(keys) {
-		return fmt.Errorf("%w: %d answers for %d keys", errCorruptRPC, len(results), len(keys))
-	}
-	for i, r := range results {
-		if r.key != keys[i] {
-			return fmt.Errorf("%w: answer for key %q, want %q", errCorruptRPC, r.key, keys[i])
-		}
-		outcomes[idxs[i]].status = r.status
-		outcomes[idxs[i]].list = r.list
-	}
-	return nil
+	return ls.run(terms, maxSize, k)
 }
 
 // searchFanout returns the effective per-level RPC concurrency.
 func (e *Engine) searchFanout() int {
-	if e.cfg.SearchFanout < 1 {
-		return 1
-	}
-	return e.cfg.SearchFanout
+	return fanoutOf(e.cfg)
 }
 
 // SetSearchFanout adjusts the per-level fetch concurrency at runtime.
@@ -685,6 +450,19 @@ func (e *Engine) SetSearchFanout(n int) {
 		n = 1
 	}
 	e.cfg.SearchFanout = n
+}
+
+// allSubkeysNDStatus prunes the retrieval lattice on packed keys — the
+// Key-typed twin of allSubkeysND in coordinate.go, kept for tools and
+// tests that work with TermIDs rather than canonical strings.
+func (e *Engine) allSubkeysNDStatus(key Key, status map[Key]KeyStatus) bool {
+	ok := true
+	key.Subkeys(func(sub Key) {
+		if status[sub] != StatusNDK {
+			ok = false
+		}
+	})
+	return ok
 }
 
 // forEachLimit invokes fn(0..n-1) from at most limit concurrent
@@ -715,20 +493,6 @@ func forEachLimit(n, limit int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
-}
-
-// allSubkeysNDStatus prunes the retrieval lattice: a key can only be
-// stored if every immediate sub-key is non-discriminative (an HDK sub-key
-// means redundancy filtering dropped the superset; an absent sub-key means
-// the superset cannot occur).
-func (e *Engine) allSubkeysNDStatus(key Key, status map[Key]KeyStatus) bool {
-	ok := true
-	key.Subkeys(func(sub Key) {
-		if status[sub] != StatusNDK {
-			ok = false
-		}
-	})
-	return ok
 }
 
 func dedupTerms(ts []corpus.TermID) []corpus.TermID {

@@ -127,7 +127,7 @@ func (b *fetchBlocker) Call(addr string, req []byte) ([]byte, error) {
 	armed := b.armed
 	b.mu.Unlock()
 	if armed && addr == b.victim {
-		if svc, _, err := overlay.DecodeEnvelope(req); err == nil && svc == svcFetchBatch {
+		if svc, _, err := overlay.DecodeEnvelope(req); err == nil && svc == SvcFetchBatch {
 			b.mu.Lock()
 			b.blocked++
 			b.mu.Unlock()

@@ -39,7 +39,24 @@ func expectedSearchCost(t *testing.T, eng *Engine, q corpus.Query) (probes, rpcs
 	}
 	status := make(map[Key]KeyStatus)
 	for size := 1; size <= maxSize; size++ {
-		level := eng.levelCandidates(usable, size, status)
+		// Independent candidate enumeration (same subset order and
+		// subsumption pruning as the engine's traversal).
+		var level []Key
+		var rec func(start int, cur []corpus.TermID)
+		rec = func(start int, cur []corpus.TermID) {
+			if len(cur) == size {
+				key := NewKey(cur...)
+				if size > 1 && !eng.allSubkeysNDStatus(key, status) {
+					return
+				}
+				level = append(level, key)
+				return
+			}
+			for i := start; i < len(usable); i++ {
+				rec(i+1, append(cur, usable[i]))
+			}
+		}
+		rec(0, nil)
 		if len(level) == 0 {
 			break
 		}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/postings"
+	"repro/internal/rank"
+)
+
+// Wire codec for the hdk.search coordination RPC: a thin client ships a
+// query's pre-rendered terms plus the answer size and options in ONE
+// request to any daemon, which runs the whole lattice traversal
+// server-side and returns the ranked answer with its cost metrics. The
+// response body is framed separately from the served-from-cache flag so
+// a coordinator can cache the body once and stamp the flag per response.
+
+// SvcSearch is the coordination service name: the daemon-side
+// counterpart of Engine.Search, served by cluster.Server.
+const SvcSearch = "hdk.search"
+
+// SearchRequest is one coordinated query.
+type SearchRequest struct {
+	// Terms is the query in coordinator wire form — Engine.QueryTerms
+	// output: distinct, non-very-frequent canonical term strings in
+	// ascending TermID order. The order decides candidate enumeration
+	// and therefore score accumulation, so preserving it is what makes
+	// coordinated answers bit-identical to client-engine ones.
+	Terms []string
+	// K is the number of ranked results requested.
+	K int
+	// NoCache bypasses the coordinator's query-result cache (both
+	// lookup and fill) — for load tests that must exercise the fetch
+	// path, and for verifying failover behind a warm cache.
+	NoCache bool
+}
+
+// searchReqFlagNoCache is the options bit carried by the request.
+const searchReqFlagNoCache = 1 << 0
+
+// maxSearchK bounds the requested answer size a coordinator accepts —
+// far above any real top-k, low enough that a corrupt varint cannot ask
+// for an absurd ranking.
+const maxSearchK = 1 << 20
+
+// EncodeSearchRequest builds the hdk.search request payload. The
+// encoding is canonical (no redundant representations), so the raw
+// request bytes double as the coordinator's cache key.
+func EncodeSearchRequest(req SearchRequest) []byte {
+	buf := binary.AppendUvarint(nil, uint64(req.K))
+	var flags uint64
+	if req.NoCache {
+		flags |= searchReqFlagNoCache
+	}
+	buf = binary.AppendUvarint(buf, flags)
+	return postings.EncodeKeyList(buf, req.Terms)
+}
+
+// DecodeSearchRequest parses an hdk.search request payload.
+func DecodeSearchRequest(payload []byte) (SearchRequest, error) {
+	var req SearchRequest
+	k, n := binary.Uvarint(payload)
+	if n <= 0 || k > maxSearchK {
+		return req, errCorruptRPC
+	}
+	off := n
+	flags, n := binary.Uvarint(payload[off:])
+	if n <= 0 || flags&^uint64(searchReqFlagNoCache) != 0 {
+		return req, errCorruptRPC
+	}
+	off += n
+	terms, err := postings.DecodeKeyList(payload[off:])
+	if err != nil {
+		return req, err
+	}
+	req.Terms = terms
+	req.K = int(k)
+	req.NoCache = flags&searchReqFlagNoCache != 0
+	return req, nil
+}
+
+// EncodeSearchResult serializes a coordinated answer body: the ranked
+// results (doc id + exact float64 score bits, so the client sees the
+// byte-identical ranking the coordinator computed) followed by the
+// per-query cost metrics.
+func EncodeSearchResult(res *SearchResult) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(res.Results)))
+	for _, r := range res.Results {
+		buf = binary.AppendUvarint(buf, uint64(r.Doc))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Score))
+	}
+	buf = binary.AppendUvarint(buf, res.FetchedPosts)
+	buf = binary.AppendUvarint(buf, uint64(res.ProbedKeys))
+	buf = binary.AppendUvarint(buf, uint64(res.FoundKeys))
+	buf = binary.AppendUvarint(buf, uint64(res.RPCs))
+	buf = binary.AppendUvarint(buf, uint64(res.Rounds))
+	return binary.AppendUvarint(buf, uint64(res.Failovers))
+}
+
+// DecodeSearchResult parses a coordinated answer body.
+func DecodeSearchResult(body []byte) (*SearchResult, error) {
+	n, off := binary.Uvarint(body)
+	// Every result costs at least 9 bytes (1-byte doc varint + 8 score
+	// bytes), so a count beyond that bound is corrupt, not a large
+	// allocation.
+	if off <= 0 || n > uint64(len(body)-off)/9 {
+		return nil, errCorruptRPC
+	}
+	res := &SearchResult{Results: make([]rank.Result, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		doc, sz := binary.Uvarint(body[off:])
+		if sz <= 0 || doc > math.MaxUint32 {
+			return nil, errCorruptRPC
+		}
+		off += sz
+		if len(body)-off < 8 {
+			return nil, errCorruptRPC
+		}
+		score := math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+		res.Results = append(res.Results, rank.Result{Doc: corpus.DocID(doc), Score: score})
+	}
+	ints := []*int{&res.ProbedKeys, &res.FoundKeys, &res.RPCs, &res.Rounds, &res.Failovers}
+	for i := 0; i < len(ints)+1; i++ {
+		v, sz := binary.Uvarint(body[off:])
+		if sz <= 0 {
+			return nil, errCorruptRPC
+		}
+		off += sz
+		if i == 0 {
+			res.FetchedPosts = v
+		} else {
+			*ints[i-1] = int(v)
+		}
+	}
+	if off != len(body) {
+		return nil, errCorruptRPC
+	}
+	return res, nil
+}
+
+// EncodeSearchResponse frames a response: a served-from-cache flag byte
+// ahead of the result body.
+func EncodeSearchResponse(body []byte, cached bool) []byte {
+	flag := byte(0)
+	if cached {
+		flag = 1
+	}
+	out := make([]byte, 0, 1+len(body))
+	return append(append(out, flag), body...)
+}
+
+// DecodeSearchResponse parses a framed hdk.search response into the
+// answer and whether the coordinator served it from its result cache.
+// A cached response carries the metrics recorded when the answer was
+// first computed — the cost of the original coordination, not of the
+// (free) cache hit.
+func DecodeSearchResponse(resp []byte) (*SearchResult, bool, error) {
+	if len(resp) == 0 || resp[0] > 1 {
+		return nil, false, errCorruptRPC
+	}
+	res, err := DecodeSearchResult(resp[1:])
+	if err != nil {
+		return nil, false, err
+	}
+	return res, resp[0] == 1, nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/overlay"
+	"repro/internal/postings"
+	"repro/internal/rank"
+	"repro/internal/transport"
+)
+
+func TestSearchRequestRoundTrip(t *testing.T) {
+	cases := []SearchRequest{
+		{Terms: nil, K: 0},
+		{Terms: []string{"alpha"}, K: 10},
+		{Terms: []string{"alpha", "beta", "a\x1fcompound"}, K: 20, NoCache: true},
+		{Terms: []string{""}, K: 1 << 19},
+	}
+	for _, in := range cases {
+		buf := EncodeSearchRequest(in)
+		out, err := DecodeSearchRequest(buf)
+		if err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		if out.K != in.K || out.NoCache != in.NoCache || len(out.Terms) != len(in.Terms) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+		}
+		for i := range in.Terms {
+			if out.Terms[i] != in.Terms[i] {
+				t.Fatalf("term %d: %q != %q", i, out.Terms[i], in.Terms[i])
+			}
+		}
+	}
+}
+
+// TestSearchRequestCanonical pins the property the coordinator's result
+// cache depends on: equal requests encode to equal bytes.
+func TestSearchRequestCanonical(t *testing.T) {
+	a := EncodeSearchRequest(SearchRequest{Terms: []string{"x", "y"}, K: 10})
+	b := EncodeSearchRequest(SearchRequest{Terms: []string{"x", "y"}, K: 10})
+	if string(a) != string(b) {
+		t.Fatal("identical requests encode differently")
+	}
+	c := EncodeSearchRequest(SearchRequest{Terms: []string{"x", "y"}, K: 10, NoCache: true})
+	if string(a) == string(c) {
+		t.Fatal("options not reflected in the encoding")
+	}
+}
+
+func TestSearchRequestCorrupt(t *testing.T) {
+	valid := EncodeSearchRequest(SearchRequest{Terms: []string{"alpha", "beta"}, K: 10})
+	cases := map[string][]byte{
+		"empty input":      {},
+		"huge k":           {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"unknown flag bit": {10, 0x02, 0},
+		"truncated terms":  valid[:len(valid)-2],
+	}
+	for name, buf := range cases {
+		if _, err := DecodeSearchRequest(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		} else if !errors.Is(err, errCorruptRPC) && !errors.Is(err, postings.ErrCorrupt) {
+			t.Errorf("%s: unexpected error class %v", name, err)
+		}
+	}
+}
+
+func TestSearchResponseRoundTrip(t *testing.T) {
+	in := &SearchResult{
+		Results: []rank.Result{
+			{Doc: 0, Score: 12.0625},
+			{Doc: 41, Score: 0.0001220703125},
+			{Doc: 1<<32 - 1, Score: -1.5},
+		},
+		FetchedPosts: 991,
+		ProbedKeys:   7,
+		FoundKeys:    5,
+		RPCs:         4,
+		Rounds:       3,
+		Failovers:    1,
+	}
+	for _, cached := range []bool{false, true} {
+		resp := EncodeSearchResponse(EncodeSearchResult(in), cached)
+		out, gotCached, err := DecodeSearchResponse(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotCached != cached {
+			t.Fatalf("cached flag = %v, want %v", gotCached, cached)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+		}
+	}
+	// Scores survive bit-exactly (the parity gates compare with
+	// reflect.DeepEqual on float64s).
+	resp := EncodeSearchResponse(EncodeSearchResult(in), false)
+	out, _, _ := DecodeSearchResponse(resp)
+	for i := range in.Results {
+		if out.Results[i].Score != in.Results[i].Score {
+			t.Fatalf("score %d not bit-exact", i)
+		}
+	}
+}
+
+func TestSearchResponseEmpty(t *testing.T) {
+	resp := EncodeSearchResponse(EncodeSearchResult(&SearchResult{}), false)
+	out, cached, err := DecodeSearchResponse(resp)
+	if err != nil || cached {
+		t.Fatalf("empty response: %v cached=%v", err, cached)
+	}
+	if len(out.Results) != 0 || out.ProbedKeys != 0 {
+		t.Fatalf("empty response decoded to %+v", out)
+	}
+}
+
+func TestSearchResponseCorrupt(t *testing.T) {
+	valid := EncodeSearchResponse(EncodeSearchResult(&SearchResult{
+		Results: []rank.Result{{Doc: 3, Score: 1.5}}, ProbedKeys: 1, FoundKeys: 1, RPCs: 1, Rounds: 1,
+	}), false)
+	cases := map[string][]byte{
+		"empty input":       {},
+		"bad flag":          {7},
+		"huge result count": {0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"truncated score":   valid[:4],
+		"missing metrics":   valid[:len(valid)-3],
+		"trailing garbage":  append(append([]byte{}, valid...), 0xaa),
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeSearchResponse(buf); !errors.Is(err, errCorruptRPC) {
+			t.Errorf("%s: got %v, want errCorruptRPC", name, err)
+		}
+	}
+}
+
+func TestSearchResponseCorruptNeverPanics(t *testing.T) {
+	valid := EncodeSearchResponse(EncodeSearchResult(&SearchResult{
+		Results:    []rank.Result{{Doc: 3, Score: 1.5}, {Doc: 9, Score: 2.25}},
+		ProbedKeys: 3, FoundKeys: 2, RPCs: 2, Rounds: 2,
+	}), true)
+	for cut := 0; cut < len(valid); cut++ {
+		DecodeSearchResponse(valid[:cut]) // must not panic
+	}
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		DecodeSearchResponse(mut) // must not panic; error or garbage both fine
+	}
+	reqValid := EncodeSearchRequest(SearchRequest{Terms: []string{"alpha", "beta"}, K: 9, NoCache: true})
+	for cut := 0; cut < len(reqValid); cut++ {
+		DecodeSearchRequest(reqValid[:cut])
+	}
+	for i := range reqValid {
+		mut := append([]byte(nil), reqValid...)
+		mut[i] ^= 0xff
+		DecodeSearchRequest(mut)
+	}
+}
+
+// TestQueryTermsRendering pins the coordinator input contract:
+// deduplicated, very-frequent-filtered, ascending-TermID canonical
+// strings.
+func TestQueryTermsRendering(t *testing.T) {
+	col := testCollection(t, 20)
+	cfg := testConfig(col, 6)
+	cfg.Ff = 10
+	vocab := []string{"zed", "alpha", "mid"}
+	freqs := []int{1, 100, 1} // "alpha" exceeds Ff
+	net := overlay.NewNetwork(transport.NewInProc())
+	if _, err := net.AddNode("n0"); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(net, cfg, vocab, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := corpus.Query{Terms: []corpus.TermID{2, 0, 2, 1, 0}}
+	got := eng.QueryTerms(q)
+	// TermID order (0,2 after dedup; 1 dropped as very frequent):
+	want := []string{"zed", "mid"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("QueryTerms = %v, want %v", got, want)
+	}
+}

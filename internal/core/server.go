@@ -69,6 +69,13 @@ type StoreServer struct {
 	pmu       sync.RWMutex
 	dur       *durable.Store
 	durHeader func(emit func(kind string, payload []byte) error) error
+
+	// onMutate, when set, runs after every successfully served mutation
+	// (insert/classify/repair) — the write-through hook the cluster
+	// daemon uses to invalidate its query-result cache. Set before
+	// Attach; replayed durable records do not fire it (recovery precedes
+	// serving, so there is nothing cached to invalidate).
+	onMutate func()
 }
 
 // NewStoreServer validates the configuration and creates an empty store.
@@ -96,6 +103,31 @@ func (s *StoreServer) EnablePersistence(d *durable.Store, header func(emit func(
 	s.dur = d
 	s.durHeader = header
 	s.pmu.Unlock()
+}
+
+// OnMutation registers a hook invoked after every successfully served
+// mutating RPC (insert, classify sweep, repair import) — regardless of
+// whether persistence is enabled. The cluster daemon hangs its
+// query-result cache invalidation here, so a coordinator can never
+// serve a cached answer across an index change it has itself applied.
+// Call before Attach; not safe to change while serving.
+func (s *StoreServer) OnMutation(fn func()) { s.onMutate = fn }
+
+// AttachLocalRead registers the read-side index services on a
+// CLIENT-side member stub: a daemon coordinating queries attaches its
+// own store this way on its self-member, so fetches the coordinator
+// owns are answered in-process instead of via a loopback RPC to its own
+// socket. Mutations are deliberately not attachable here — they must
+// flow through the daemon's dispatch to be metered, logged and to fire
+// the mutation hook.
+func (s *StoreServer) AttachLocalRead(m overlay.Member) {
+	m.Handle(SvcFetchBatch, func(req []byte) ([]byte, error) {
+		keys, err := decodeFetchBatchReq(req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeFetchBatchResp(s.store.fetchBatch(keys)), nil
+	})
 }
 
 // ReplayRecord applies one recovered durable record: a snapshot entry
@@ -180,6 +212,9 @@ func (s *StoreServer) runLogged(kind string, req []byte, body func([]byte) ([]by
 	}
 	s.pmu.RUnlock()
 	if err == nil {
+		if s.onMutate != nil {
+			s.onMutate()
+		}
 		s.maybeCompact()
 	}
 	return resp, err
@@ -271,7 +306,7 @@ func attachIndexServices(node overlay.Member, store *hdkStore, hooks persistHook
 	node.Handle(SvcInsert, logged(DurableOpInsert, storeInsert))
 	node.Handle(SvcClassify, logged(DurableOpClassify, storeClassify))
 	node.Handle(replica.Service, logged(DurableOpRepair, storeRepair))
-	node.Handle(svcFetchBatch, func(req []byte) ([]byte, error) {
+	node.Handle(SvcFetchBatch, func(req []byte) ([]byte, error) {
 		keys, err := decodeFetchBatchReq(req)
 		if err != nil {
 			return nil, err

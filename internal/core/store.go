@@ -17,7 +17,7 @@ const (
 	// SvcInsert merges a peer's local posting lists into the index
 	// (exported so the cluster daemon can meter re-index traffic).
 	SvcInsert     = "hdk.insert"
-	svcFetchBatch = "hdk.fetchBatch"
+	SvcFetchBatch = "hdk.fetchBatch"
 	svcNotify     = "hdk.notify"
 )
 

@@ -36,16 +36,28 @@ type ConnectReport struct {
 	PoolReuses   uint64
 }
 
-// ConnectBench discovers the cluster behind seed, builds the scale's
-// collection over it (DocsPerPeer documents per daemon, first DFmax) and
-// measures build and per-query costs over the real sockets. replicas <= 0
-// adopts the factor the daemons advertise.
-func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas int, progress Progress) (*ConnectReport, error) {
+// connectedCluster is a discovered, configured and freshly built live
+// cluster plus everything a bench needs to query it — shared by the
+// thin-client bench (ConnectBench) and the coordinator bench
+// (CoordBench).
+type connectedCluster struct {
+	c          *cluster.Client
+	eng        *core.Engine
+	cfg        core.Config
+	col        *corpus.Collection
+	queries    []corpus.Query
+	n          int
+	replicas   int
+	buildNanos int64
+}
+
+// connectBuild discovers the cluster behind seed, generates the scale's
+// collection for its size (DocsPerPeer documents per daemon, first
+// DFmax), configures every daemon and builds the index through the
+// client fabric. replicas <= 0 adopts the factor the daemons advertise.
+func connectBuild(tr transport.Transport, seed string, scale Scale, replicas int, progress Progress) (*connectedCluster, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
-	}
-	if progress == nil {
-		progress = nopProgress
 	}
 	if replicas <= 0 {
 		info, err := cluster.FetchInfo(tr, seed)
@@ -106,10 +118,29 @@ func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas int
 	if err := eng.BuildIndex(); err != nil {
 		return nil, fmt.Errorf("cluster build: %w", err)
 	}
-	buildNanos := time.Since(buildStart).Nanoseconds()
+	return &connectedCluster{
+		c: c, eng: eng, cfg: cfg, col: col, queries: queries,
+		n: n, replicas: replicas,
+		buildNanos: time.Since(buildStart).Nanoseconds(),
+	}, nil
+}
+
+// ConnectBench discovers the cluster behind seed, builds the scale's
+// collection over it (DocsPerPeer documents per daemon, first DFmax) and
+// measures build and per-query costs over the real sockets. replicas <= 0
+// adopts the factor the daemons advertise.
+func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas int, progress Progress) (*ConnectReport, error) {
+	if progress == nil {
+		progress = nopProgress
+	}
+	cc, err := connectBuild(tr, seed, scale, replicas, progress)
+	if err != nil {
+		return nil, err
+	}
+	eng, queries := cc.eng, cc.queries
 
 	before := eng.Traffic().Snapshot()
-	origin := members[0]
+	origin := cc.c.Members()[0]
 	queryStart := time.Now()
 	for i, q := range queries {
 		if _, err := eng.Search(q, origin, 10); err != nil {
@@ -121,8 +152,8 @@ func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas int
 
 	nq := float64(len(queries))
 	rep := &ConnectReport{
-		Nodes: n, Replicas: replicas, Docs: col.M(), Queries: len(queries), DFMax: cfg.DFMax,
-		BuildNanos:       buildNanos,
+		Nodes: cc.n, Replicas: cc.replicas, Docs: cc.col.M(), Queries: len(queries), DFMax: cc.cfg.DFMax,
+		BuildNanos:       cc.buildNanos,
 		QueryNanosAvg:    float64(queryNanos) / nq,
 		QueryRPCsAvg:     float64(after.FetchRPCs-before.FetchRPCs) / nq,
 		QueryProbesAvg:   float64(after.ProbeMessages-before.ProbeMessages) / nq,

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/transport/cluster"
+)
+
+// This file implements the coordinator serving bench (hdkbench -connect
+// -coordinator -clients N): the measurement companion of the hdk.search
+// subsystem. Where ConnectBench drives the cluster as a fat client
+// (the whole lattice traversal runs client-side), CoordBench drives it
+// the way "millions of users" would — every query is ONE RPC to a
+// daemon, which coordinates the traversal node-side and caches the
+// result. Three phases:
+//
+//  1. a serial COLD pass over the query set, coordinators rotating
+//     round-robin — the per-query RPC/probe/posting counters it records
+//     are deterministic (exactly reproducible from the scale's seed),
+//     which is what lets cmd/benchcheck gate them exactly;
+//  2. a serial WARM re-pass with identical routing — every answer must
+//     come from the coordinators' result caches, verified both by the
+//     response flags and by the daemons' served-fetch meters standing
+//     still;
+//  3. a closed-loop CONCURRENT phase — `clients` goroutines, each
+//     cycling the query set from its own offset, back to back — which
+//     yields the throughput and p50/p99 latency of the serving path.
+//     Wall-clock numbers vary with hardware; benchcheck gates them at a
+//     wide tolerance.
+
+// coordLoopPasses is how many times each closed-loop client cycles the
+// query set.
+const coordLoopPasses = 4
+
+// CoordReport measures the node-side coordination path of a live
+// cluster. The Cold* counters are deterministic; the Loop* numbers are
+// wall-clock.
+type CoordReport struct {
+	Nodes    int `json:"nodes"`
+	Replicas int `json:"replicas"`
+	Docs     int `json:"docs"`
+	Queries  int `json:"queries"`
+	Clients  int `json:"clients"`
+	DFMax    int `json:"dfmax"`
+
+	BuildNanos int64 `json:"build_nanos"`
+
+	// Serial cold pass (deterministic counters, exact across runs).
+	ColdRPCsAvg     float64 `json:"cold_rpcs_avg"`     // batched fetches per coordination
+	ColdProbesAvg   float64 `json:"cold_probes_avg"`   // lattice probes per coordination
+	ColdPostingsAvg float64 `json:"cold_postings_avg"` // postings fetched per coordination
+	ColdNanosAvg    float64 `json:"cold_nanos_avg"`    // wall-clock per coordination
+
+	// Serial warm re-pass (the result-cache proof).
+	WarmCached    int    `json:"warm_cached"`     // responses served from cache; must equal Queries
+	WarmFetchRPCs uint64 `json:"warm_fetch_rpcs"` // daemons' fetch-meter delta; must be 0
+
+	// Closed-loop concurrent phase.
+	LoopRequests    int     `json:"loop_requests"`
+	LoopNanos       int64   `json:"loop_nanos"`
+	ThroughputQPS   float64 `json:"throughput_qps"`
+	LatencyP50Nanos int64   `json:"latency_p50_nanos"`
+	LatencyP99Nanos int64   `json:"latency_p99_nanos"`
+}
+
+// CoordBench builds the scale's collection over the live cluster behind
+// seed (exactly like ConnectBench) and measures the coordinated query
+// path with `clients` concurrent closed-loop clients. replicas <= 0
+// adopts the daemons' advertised factor.
+func CoordBench(tr transport.Transport, seed string, scale Scale, replicas, clients int, progress Progress) (*CoordReport, error) {
+	if progress == nil {
+		progress = nopProgress
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	cc, err := connectBuild(tr, seed, scale, replicas, progress)
+	if err != nil {
+		return nil, err
+	}
+	members := cc.c.Members()
+	addrs := make([]string, len(members))
+	for i, m := range members {
+		addrs[i] = m.Addr()
+	}
+	reqs := make([]core.SearchRequest, len(cc.queries))
+	for i, q := range cc.queries {
+		reqs[i] = core.SearchRequest{Terms: cc.eng.QueryTerms(q), K: 10}
+	}
+	rep := &CoordReport{
+		Nodes: cc.n, Replicas: cc.replicas, Docs: cc.col.M(),
+		Queries: len(reqs), Clients: clients, DFMax: cc.cfg.DFMax,
+		BuildNanos: cc.buildNanos,
+	}
+
+	// Phase 1: serial cold pass, coordinators rotating round-robin.
+	progress("coord: cold pass, %d queries over %d coordinators", len(reqs), len(addrs))
+	cold := make([]*core.SearchResult, len(reqs))
+	coldStart := time.Now()
+	for i, req := range reqs {
+		res, cached, err := cc.c.SearchVia(addrs[i%len(addrs)], req)
+		if err != nil {
+			return nil, fmt.Errorf("cold query %d: %w", i, err)
+		}
+		if cached {
+			return nil, fmt.Errorf("cold query %d served from cache on a fresh cluster", i)
+		}
+		cold[i] = res
+		rep.ColdRPCsAvg += float64(res.RPCs)
+		rep.ColdProbesAvg += float64(res.ProbedKeys)
+		rep.ColdPostingsAvg += float64(res.FetchedPosts)
+	}
+	coldNanos := time.Since(coldStart).Nanoseconds()
+	nq := float64(len(reqs))
+	rep.ColdRPCsAvg /= nq
+	rep.ColdProbesAvg /= nq
+	rep.ColdPostingsAvg /= nq
+	rep.ColdNanosAvg = float64(coldNanos) / nq
+
+	// Phase 2: serial warm re-pass with identical routing — every
+	// answer must come from the result caches and cost zero fetches.
+	fetchesBefore, err := clusterFetchMeter(tr, addrs)
+	if err != nil {
+		return nil, err
+	}
+	for i, req := range reqs {
+		res, cached, err := cc.c.SearchVia(addrs[i%len(addrs)], req)
+		if err != nil {
+			return nil, fmt.Errorf("warm query %d: %w", i, err)
+		}
+		if cached {
+			rep.WarmCached++
+		}
+		if !reflect.DeepEqual(res.Results, cold[i].Results) {
+			return nil, fmt.Errorf("warm query %d: cached answer diverges from cold answer", i)
+		}
+	}
+	fetchesAfter, err := clusterFetchMeter(tr, addrs)
+	if err != nil {
+		return nil, err
+	}
+	rep.WarmFetchRPCs = fetchesAfter - fetchesBefore
+	progress("coord: warm pass, %d/%d cached, %d fetch RPCs", rep.WarmCached, len(reqs), rep.WarmFetchRPCs)
+
+	// Phase 3: closed-loop concurrent load. Every client cycles the
+	// query set from its own offset so coordinators and cache lines are
+	// shared the way concurrent users would share them.
+	total := clients * coordLoopPasses * len(reqs)
+	latencies := make([]int64, total)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	progress("coord: closed loop, %d clients x %d requests", clients, coordLoopPasses*len(reqs))
+	loopStart := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			per := coordLoopPasses * len(reqs)
+			for j := 0; j < per; j++ {
+				qi := (w + j) % len(reqs)
+				t0 := time.Now()
+				_, _, err := cc.c.SearchVia(addrs[qi%len(addrs)], reqs[qi])
+				if err != nil {
+					errs[w] = fmt.Errorf("client %d request %d: %w", w, j, err)
+					return
+				}
+				latencies[w*per+j] = time.Since(t0).Nanoseconds()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.LoopRequests = total
+	rep.LoopNanos = time.Since(loopStart).Nanoseconds()
+	rep.ThroughputQPS = float64(total) / (float64(rep.LoopNanos) / 1e9)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.LatencyP50Nanos = latencies[total/2]
+	rep.LatencyP99Nanos = latencies[total*99/100]
+	return rep, nil
+}
+
+// clusterFetchMeter sums the daemons' served hdk.fetchBatch counters.
+func clusterFetchMeter(tr transport.Transport, addrs []string) (uint64, error) {
+	var total uint64
+	for _, addr := range addrs {
+		info, err := cluster.FetchInfo(tr, addr)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: info from %s: %w", addr, err)
+		}
+		total += info.FetchRPCs
+	}
+	return total, nil
+}
+
+// Fprint renders the coordinator bench report.
+func (r *CoordReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Coordinator bench — %d hdknode daemons, R=%d, DFmax=%d, %d docs, %d queries, %d clients\n",
+		r.Nodes, r.Replicas, r.DFMax, r.Docs, r.Queries, r.Clients)
+	fmt.Fprintf(w, "build %.2fms | cold: %.3fms avg, %.2f batched RPCs, %.2f probes, %.1f postings per coordination\n",
+		float64(r.BuildNanos)/1e6, r.ColdNanosAvg/1e6, r.ColdRPCsAvg, r.ColdProbesAvg, r.ColdPostingsAvg)
+	fmt.Fprintf(w, "warm: %d/%d served from cache, %d fetch RPCs cluster-wide\n",
+		r.WarmCached, r.Queries, r.WarmFetchRPCs)
+	fmt.Fprintf(w, "closed loop: %d requests in %.2fms — %.0f qps, p50 %.3fms, p99 %.3fms\n",
+		r.LoopRequests, float64(r.LoopNanos)/1e6, r.ThroughputQPS,
+		float64(r.LatencyP50Nanos)/1e6, float64(r.LatencyP99Nanos)/1e6)
+}

@@ -11,10 +11,15 @@ import (
 // wall-clock build and per-query timings), so successive runs are
 // directly comparable without re-deriving the setup from flags.
 
-// BenchReport is the JSON shape of one sweep.
+// BenchReport is the JSON shape of one sweep. Coordinator, when set,
+// carries a node-side serving measurement (hdkbench -connect
+// -coordinator) next to — or instead of — the in-process sweep steps;
+// cmd/benchcheck compares whichever sections baseline and candidate
+// share.
 type BenchReport struct {
-	Scale Scale  `json:"scale"`
-	Steps []Step `json:"steps"`
+	Scale       Scale        `json:"scale"`
+	Steps       []Step       `json:"steps,omitempty"`
+	Coordinator *CoordReport `json:"coordinator,omitempty"`
 }
 
 // BenchJSON extracts the serializable portion of sweep results (the

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/transport/cluster"
+)
+
+// TestTCPServeE2E boots a real 5-process hdknode cluster on localhost
+// and runs the node-side serving scenario: every daemon coordinates
+// queries (hdk.search) bit-identically to the in-process and
+// client-fabric engines, repeat queries are served from the result
+// caches with zero fetch RPCs, an incremental update invalidates every
+// cache, and coordination keeps answering correctly — via replica
+// failover — after the owner of a probed key is SIGKILLed. This is a
+// CI cluster-e2e gate; skipped under -short because it compiles a
+// binary and forks children.
+func TestTCPServeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes; skipped in -short mode")
+	}
+	bin := os.Getenv("HDKNODE_BIN") // CI prebuilds the daemon once
+	if bin == "" {
+		var err error
+		if bin, err = cluster.BuildHDKNode(t.TempDir()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := DefaultTCPServeOpts()
+
+	h := &cluster.Harness{Bin: bin, Stderr: os.Stderr}
+	if err := h.Start(opts.Nodes, opts.Replicas); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	tr := transport.NewTCP()
+	defer tr.Close()
+	rep, err := TCPServe(tr, h.Addrs(), h.Kill, opts, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Fprint(os.Stderr)
+
+	if rep.ClientMismatches != 0 {
+		t.Errorf("%d client-fabric queries diverged from the in-process engine", rep.ClientMismatches)
+	}
+	if rep.CoordMismatches != 0 {
+		t.Errorf("%d coordinated queries diverged from the in-process engine", rep.CoordMismatches)
+	}
+	if rep.RepeatCached != rep.Queries {
+		t.Errorf("repeat pass: %d/%d served from cache", rep.RepeatCached, rep.Queries)
+	}
+	if rep.RepeatMismatches != 0 {
+		t.Errorf("%d cached answers diverged from the originals", rep.RepeatMismatches)
+	}
+	if rep.RepeatFetchRPCs != 0 {
+		t.Errorf("repeat pass cost %d fetch RPCs, want 0 (result caches bypassed?)", rep.RepeatFetchRPCs)
+	}
+	if rep.PostUpdateCached != 0 {
+		t.Errorf("%d post-update answers served from a stale cache", rep.PostUpdateCached)
+	}
+	if rep.PostUpdateMismatches != 0 {
+		t.Errorf("%d post-update coordinations diverged from the updated reference", rep.PostUpdateMismatches)
+	}
+	if rep.FailoverMismatches != 0 {
+		t.Errorf("%d post-crash coordinations diverged — node-side failover broken", rep.FailoverMismatches)
+	}
+	if rep.FailoverBatches == 0 {
+		t.Error("no fetch batch failed over — the crash was not exercised by the query set")
+	}
+	if !rep.Clean() {
+		t.Error("report does not satisfy every serving gate")
+	}
+	if rep.CacheHits == 0 || rep.SearchRPCs == 0 {
+		t.Errorf("daemon serving counters empty: %d search RPCs, %d cache hits", rep.SearchRPCs, rep.CacheHits)
+	}
+}

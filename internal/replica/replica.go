@@ -15,6 +15,12 @@
 // The package is index-agnostic: it never inspects entry payloads, so
 // any layer that can export/import its per-key state (the HDK engine,
 // the single-term baseline) can replicate through it.
+//
+// Owners is deliberately the single definition of a key's replica
+// chain: the engine's insert fan-out, the client-side search failover,
+// the repair sweep AND the daemon-side hdk.search coordinator
+// (core.Coordinator over a cluster fabric) all walk the same chain, so
+// write placement and every read path agree on where copies live.
 package replica
 
 import (

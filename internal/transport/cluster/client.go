@@ -7,6 +7,13 @@
 // and a Harness that spawns and reaps hdknode child processes for
 // end-to-end tests.
 //
+// Every Server is also a query coordinator: the hdk.search RPC
+// (Client.SearchVia) runs the engine's lattice traversal inside the
+// daemon — against its own membership view, with replica failover, a
+// worker-pool admission bound, and a per-node query-result LRU that
+// every locally served index mutation invalidates — so a thin client
+// pays one RPC per query instead of orchestrating the fan-out itself.
+//
 // The client fabric is a full-membership, one-hop DHT: every member's
 // ring position is overlay.HashNode(addr) — the same placement as the
 // in-process Chord overlay — and key ownership resolves locally against
@@ -328,6 +335,24 @@ func (c *Client) Meta(addr string) (core.Config, error) {
 func (c *Client) Shutdown(addr string) error {
 	_, err := c.CallService(addr, ctrlShutdown, nil)
 	return err
+}
+
+// SearchVia asks the daemon at addr to coordinate one query: the whole
+// lattice traversal — routing, batched fetches, replica failover,
+// result caching — runs node-side, and the thin client pays exactly one
+// RPC. req.Terms must be in Engine.QueryTerms form; the returned bool
+// reports whether the daemon answered from its query-result cache. Any
+// member of the cluster can coordinate any query.
+func (c *Client) SearchVia(addr string, req core.SearchRequest) (*core.SearchResult, bool, error) {
+	raw, err := c.CallService(addr, core.SvcSearch, core.EncodeSearchRequest(req))
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: search via %s: %w", addr, err)
+	}
+	res, cached, err := core.DecodeSearchResponse(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: search via %s: %w", addr, err)
+	}
+	return res, cached, nil
 }
 
 // NodeStoreStats pairs a daemon address with its store footprint.

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/transport"
+)
+
+// TestCoordinatorMatchesEngines is the node-side query path's parity
+// core: every daemon must coordinate every query to the bit-identical
+// ranked answer (and cost metrics) the in-process engine and the
+// client-fabric engine produce.
+func TestCoordinatorMatchesEngines(t *testing.T) {
+	const peers, replicas = 4, 2
+	col := testCollection(t, 120)
+	cfg := testConfig(col, replicas)
+
+	ref := buildReferenceEngine(t, col, peers, cfg)
+
+	tr := transport.NewInProc()
+	defer tr.Close()
+	servers := startInProcServers(t, tr, peers, replicas)
+	c, err := Connect(tr, servers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := buildClusterEngine(t, c, col, cfg)
+
+	refOrigin := ref.Network().Members()[0]
+	cluOrigin := c.Members()[0]
+	addrs := make([]string, 0, peers)
+	for _, s := range servers {
+		addrs = append(addrs, s.Addr())
+	}
+	for qi, q := range testQueries(col, 25) {
+		want, err := ref.Search(q, refOrigin, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaFabric, err := eng.Search(q, cluOrigin, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rotate the coordinator: ANY daemon must produce the answer.
+		req := core.SearchRequest{Terms: eng.QueryTerms(q), K: 10}
+		got, cached, err := c.SearchVia(addrs[qi%len(addrs)], req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached {
+			t.Fatalf("query %d: first coordination reported cached", qi)
+		}
+		if !reflect.DeepEqual(want.Results, got.Results) {
+			t.Fatalf("query %d: coordinator diverges from in-process engine\nref:   %v\ncoord: %v",
+				qi, want.Results, got.Results)
+		}
+		if !reflect.DeepEqual(viaFabric.Results, got.Results) {
+			t.Fatalf("query %d: coordinator diverges from client fabric", qi)
+		}
+		// Postings/probe counts are placement-invariant (vs the reference
+		// ring); RPC groupings depend on member addresses, so those are
+		// compared against the client fabric, which shares them.
+		if got.FetchedPosts != want.FetchedPosts || got.ProbedKeys != want.ProbedKeys ||
+			got.FoundKeys != want.FoundKeys || got.Rounds != want.Rounds {
+			t.Fatalf("query %d: coordinator metrics diverge: ref %+v, coord %+v", qi, want, got)
+		}
+		if got.RPCs != viaFabric.RPCs || got.Failovers != viaFabric.Failovers {
+			t.Fatalf("query %d: coordinator RPC accounting diverges: fabric %+v, coord %+v", qi, viaFabric, got)
+		}
+	}
+}
+
+// TestCoordinatorResultCache exercises the per-node result LRU: a
+// repeat query is answered from cache with zero new fetch RPCs anywhere
+// in the cluster, a mutation served by the coordinator invalidates it,
+// and the NoCache option bypasses it entirely.
+func TestCoordinatorResultCache(t *testing.T) {
+	const peers = 3
+	col := testCollection(t, 80)
+	cfg := testConfig(col, 1)
+
+	tr := transport.NewInProc()
+	defer tr.Close()
+	servers := startInProcServers(t, tr, peers, 1)
+	c, err := Connect(tr, servers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := buildClusterEngine(t, c, col, cfg)
+
+	coord := servers[0].Addr()
+	q := testQueries(col, 1)[0]
+	req := core.SearchRequest{Terms: eng.QueryTerms(q), K: 10}
+
+	first, cached, err := c.SearchVia(coord, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cold query reported cached")
+	}
+
+	fetchesBefore := clusterFetchRPCs(t, tr, servers)
+	again, cached, err := c.SearchVia(coord, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("repeat query not served from cache")
+	}
+	if !reflect.DeepEqual(first.Results, again.Results) {
+		t.Fatal("cached answer differs from original")
+	}
+	if after := clusterFetchRPCs(t, tr, servers); after != fetchesBefore {
+		t.Fatalf("repeat query cost %d fetch RPCs, want 0", after-fetchesBefore)
+	}
+	info, err := FetchInfo(tr, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SearchCacheHits == 0 || info.SearchRPCs < 2 {
+		t.Fatalf("info counters: %+v", info)
+	}
+
+	// Any mutation served by the coordinator (an empty repair batch is
+	// the cheapest legitimate one) must drop its cached results.
+	if _, err := c.CallService(coord, replica.Service, replica.EncodeBatch(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err = c.SearchVia(coord, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("query after mutation still served from cache")
+	}
+
+	// NoCache: neither reads nor fills the cache.
+	nc := req
+	nc.NoCache = true
+	for i := 0; i < 2; i++ {
+		res, cached, err := c.SearchVia(coord, nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached {
+			t.Fatalf("NoCache request %d served from cache", i)
+		}
+		if !reflect.DeepEqual(first.Results, res.Results) {
+			t.Fatal("NoCache answer diverges")
+		}
+	}
+}
+
+// TestCoordinatorUnconfigured verifies a daemon refuses to coordinate
+// before the cluster is configured.
+func TestCoordinatorUnconfigured(t *testing.T) {
+	tr := transport.NewInProc()
+	defer tr.Close()
+	servers := startInProcServers(t, tr, 2, 1)
+	c, err := Connect(tr, servers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.SearchVia(servers[1].Addr(), core.SearchRequest{Terms: []string{"x"}, K: 5}); err == nil {
+		t.Fatal("unconfigured daemon coordinated a search")
+	}
+}
+
+// clusterFetchRPCs sums the daemons' served-fetch meters.
+func clusterFetchRPCs(t *testing.T, tr transport.Transport, servers []*Server) uint64 {
+	t.Helper()
+	var total uint64
+	for _, s := range servers {
+		info, err := FetchInfo(tr, s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.FetchRPCs
+	}
+	return total
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/overlay"
@@ -33,6 +34,16 @@ const durConfigure = "configure"
 // operators use) does not involve this path.
 const shutdownGrace = 200 * time.Millisecond
 
+// Search coordination defaults: how many hdk.search coordinations one
+// daemon runs concurrently (excess requests queue on the worker pool —
+// admission control for the serving path) and how many query results
+// its LRU holds. Both are operator-tunable via ConfigureSearch
+// (cmd/hdknode: -search-workers, -search-cache).
+const (
+	defaultSearchWorkers = 8
+	defaultSearchCache   = 1024
+)
+
 // Server is the daemon side of the cluster: one process's membership
 // identity plus its share of the replicated index. It implements
 // overlay.Member, so core.StoreServer.Attach registers the exact same
@@ -54,13 +65,34 @@ type Server struct {
 
 	mu         sync.Mutex
 	members    map[string]struct{}
+	memberVer  uint64 // bumped on every membership change; invalidates the coordination fabric
 	store      *core.StoreServer
 	configJSON []byte
 	dur        *durable.Store
 	warm       bool // store state was restored from disk at startup
 	catchUp    replica.CatchUpStats
 
+	// Query coordination state (the hdk.search serving path): a cached
+	// client fabric over this daemon's own membership view, a worker
+	// pool bounding concurrent coordinations, and a result LRU keyed by
+	// the raw request bytes. fabric/fabricSelf are guarded by mu and
+	// rebuilt lazily whenever memberVer moves past fabricVer.
+	fabric     *Client
+	fabricSelf overlay.Member
+	fabricVer  uint64
+	searchSem  chan struct{}
+
+	// cmu orders result-cache fills against invalidation: a coordination
+	// records cacheGen before probing and only publishes its result if
+	// no mutation bumped the generation meanwhile — a concurrent index
+	// change can therefore never be papered over by a stale cache fill.
+	cmu         sync.Mutex
+	cacheGen    uint64
+	searchCache *cache.LRU[[]byte]
+
 	insertRPCs atomic.Uint64 // hdk.insert RPCs served (re-index traffic meter)
+	fetchRPCs  atomic.Uint64 // hdk.fetchBatch RPCs served (query fetch meter)
+	searchRPCs atomic.Uint64 // hdk.search coordinations served
 
 	smu      sync.RWMutex
 	services map[string]transport.Handler
@@ -90,6 +122,17 @@ type Info struct {
 	// missed while down).
 	CatchUpStale  int `json:"catchup_stale"`
 	CatchUpPulled int `json:"catchup_pulled"`
+	// FetchRPCs counts hdk.fetchBatch calls served since this process
+	// started — the query fetch meter: a repeat query answered from a
+	// coordinator's result cache leaves it untouched cluster-wide.
+	FetchRPCs uint64 `json:"fetch_rpcs"`
+	// SearchRPCs counts hdk.search coordinations this daemon served
+	// (cache hits included).
+	SearchRPCs uint64 `json:"search_rpcs"`
+	// SearchCacheHits/SearchCacheMisses are the daemon's query-result
+	// cache counters.
+	SearchCacheHits   uint64 `json:"search_cache_hits"`
+	SearchCacheMisses uint64 `json:"search_cache_misses"`
 }
 
 // NewServer binds a daemon on the transport (pass "127.0.0.1:0" for an
@@ -101,11 +144,13 @@ func NewServer(tr transport.Transport, listen string, replicas int) (*Server, er
 		replicas = 1
 	}
 	s := &Server{
-		tr:       tr,
-		replicas: replicas,
-		members:  make(map[string]struct{}),
-		services: make(map[string]transport.Handler),
-		done:     make(chan struct{}),
+		tr:          tr,
+		replicas:    replicas,
+		members:     make(map[string]struct{}),
+		services:    make(map[string]transport.Handler),
+		searchSem:   make(chan struct{}, defaultSearchWorkers),
+		searchCache: cache.NewLRU[[]byte](defaultSearchCache),
+		done:        make(chan struct{}),
 	}
 	bound, err := tr.Listen(listen, s.dispatch)
 	if err != nil {
@@ -133,6 +178,40 @@ func (s *Server) Handle(service string, h transport.Handler) {
 
 // Replicas returns the advertised replication factor.
 func (s *Server) Replicas() int { return s.replicas }
+
+// ConfigureSearch sizes the query-coordination path: workers bounds
+// concurrent hdk.search coordinations (excess requests queue) and
+// cacheCap the query-result LRU. workers < 1 keeps the default;
+// cacheCap 0 disables result caching and cacheCap < 0 keeps the
+// default (mirroring cmd/hdknode's -search-cache flag). Call before
+// the daemon serves search traffic.
+func (s *Server) ConfigureSearch(workers, cacheCap int) {
+	if workers >= 1 {
+		s.searchSem = make(chan struct{}, workers)
+	}
+	if cacheCap >= 0 {
+		s.cmu.Lock()
+		s.searchCache = cache.NewLRU[[]byte](cacheCap)
+		s.cmu.Unlock()
+	}
+}
+
+// invalidateSearchCache drops every cached query result and bumps the
+// cache generation so an in-flight coordination that started before a
+// LOCALLY served mutation cannot re-publish its (possibly stale)
+// answer. Wired into the store server's mutation hook: every insert,
+// classify sweep and repair import served by this daemon fires it.
+// The guarantee is per-node: a coordination racing a cluster-wide
+// update can still observe another daemon's pre-update store and cache
+// that answer until this daemon's next mutation lands (builds and
+// updates sweep every store each round, so the window closes within
+// the round). Exact cross-node coherence is a ROADMAP item.
+func (s *Server) invalidateSearchCache() {
+	s.cmu.Lock()
+	s.cacheGen++
+	s.searchCache.Clear()
+	s.cmu.Unlock()
+}
 
 // Done is closed when a shutdown was requested (cluster.shutdown RPC or
 // Shutdown call); the daemon main waits on it.
@@ -283,7 +362,10 @@ func (s *Server) addMember(addr string) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.members[addr] = struct{}{}
+	if _, ok := s.members[addr]; !ok {
+		s.members[addr] = struct{}{}
+		s.memberVer++
+	}
 }
 
 func (s *Server) memberList() []string {
@@ -317,7 +399,10 @@ func (s *Server) dispatch(req []byte) ([]byte, error) {
 		return nil, nil
 	case ctrlForget:
 		s.mu.Lock()
-		delete(s.members, string(payload))
+		if _, ok := s.members[string(payload)]; ok {
+			delete(s.members, string(payload))
+			s.memberVer++
+		}
 		s.mu.Unlock()
 		return nil, nil
 	case ctrlConfigure:
@@ -337,6 +422,8 @@ func (s *Server) dispatch(req []byte) ([]byte, error) {
 		// connection-reset error at the client.
 		time.AfterFunc(shutdownGrace, s.Shutdown)
 		return nil, nil
+	case core.SvcSearch:
+		return s.handleSearch(payload)
 	}
 	s.smu.RLock()
 	h, ok := s.services[service]
@@ -344,10 +431,16 @@ func (s *Server) dispatch(req []byte) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: node %s: unknown service %q (configured: %v)", s.addr, service, s.configured())
 	}
-	if service == core.SvcInsert {
+	switch service {
+	case core.SvcInsert:
 		// Meter re-index traffic: a warm-restarted daemon proves its
 		// restored index cost zero rebuild RPCs by this staying 0.
 		s.insertRPCs.Add(1)
+	case core.SvcFetchBatch:
+		// Meter query fetches: a repeat query served from a
+		// coordinator's result cache proves itself by this staying flat
+		// on every daemon.
+		s.fetchRPCs.Add(1)
 	}
 	return h(payload)
 }
@@ -370,12 +463,116 @@ func (s *Server) handleInfo() ([]byte, error) {
 		InsertRPCs:    s.insertRPCs.Load(),
 		CatchUpStale:  s.catchUp.Stale,
 		CatchUpPulled: s.catchUp.CopiesPulled,
+		FetchRPCs:     s.fetchRPCs.Load(),
+		SearchRPCs:    s.searchRPCs.Load(),
 	}
 	if s.store != nil {
 		info.Keys = s.store.KeyCount()
 	}
 	s.mu.Unlock()
+	s.cmu.Lock()
+	info.SearchCacheHits, info.SearchCacheMisses = s.searchCache.Stats()
+	s.cmu.Unlock()
 	return json.Marshal(info)
+}
+
+// handleSearch serves one hdk.search coordination: the daemon answers a
+// repeat query straight from its result cache, and otherwise runs the
+// engine's level-parallel lattice traversal itself — against its own
+// membership view, with its own store attached locally and every other
+// store reached over the pooled fabric, replica failover included. The
+// raw request bytes are the cache key (the request encoding is
+// canonical); concurrent coordinations are bounded by the worker pool.
+func (s *Server) handleSearch(req []byte) ([]byte, error) {
+	s.searchRPCs.Add(1)
+	sreq, err := core.DecodeSearchRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	store := s.store
+	s.mu.Unlock()
+	if store == nil {
+		return nil, fmt.Errorf("cluster: %s not configured", s.addr)
+	}
+	key := string(req)
+	var gen uint64
+	if !sreq.NoCache {
+		s.cmu.Lock()
+		body, ok := s.searchCache.Get(key)
+		gen = s.cacheGen
+		s.cmu.Unlock()
+		if ok {
+			return core.EncodeSearchResponse(body, true), nil
+		}
+	}
+	s.searchSem <- struct{}{} // admission: at most cap(searchSem) coordinations
+	defer func() { <-s.searchSem }()
+	fab, self, err := s.coordinationFabric()
+	if err != nil {
+		return nil, err
+	}
+	coord := core.Coordinator{Net: fab, Cfg: store.Config(), From: self}
+	res, err := coord.Search(sreq.Terms, sreq.K)
+	if err != nil {
+		return nil, err
+	}
+	body := core.EncodeSearchResult(res)
+	if !sreq.NoCache {
+		// Publish only if no mutation invalidated the cache since this
+		// coordination started — otherwise the answer may predate the
+		// change and must not outlive it.
+		s.cmu.Lock()
+		if gen == s.cacheGen {
+			s.searchCache.Put(key, body)
+		}
+		s.cmu.Unlock()
+	}
+	return core.EncodeSearchResponse(body, false), nil
+}
+
+// coordinationFabric returns the client fabric the daemon coordinates
+// searches over: a one-hop view of its own membership, rebuilt lazily
+// whenever the membership changes (join/announce/forget), with this
+// daemon's store attached read-locally so self-owned fetches skip the
+// loopback RPC. The view is grow-only between forgets, so a dead member
+// stays routable and coordinated searches exercise the same replica
+// failover a thin client would.
+func (s *Server) coordinationFabric() (*Client, overlay.Member, error) {
+	s.mu.Lock()
+	if s.fabric != nil && s.fabricVer == s.memberVer {
+		fab, self := s.fabric, s.fabricSelf
+		s.mu.Unlock()
+		return fab, self, nil
+	}
+	ver := s.memberVer
+	addrs := make([]string, 0, len(s.members))
+	for a := range s.members {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	store := s.store
+	s.mu.Unlock()
+
+	c, err := New(s.tr, addrs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: %s: coordination fabric: %w", s.addr, err)
+	}
+	c.mu.RLock()
+	self := c.byAddr[s.addr]
+	c.mu.RUnlock()
+	if self == nil {
+		return nil, nil, fmt.Errorf("cluster: %s missing from own membership", s.addr)
+	}
+	if store != nil {
+		store.AttachLocalRead(self)
+	}
+	s.mu.Lock()
+	// A concurrent rebuild may land here too; both were built from a
+	// membership at least as fresh as ver, so last-writer-wins is fine.
+	s.fabric, s.fabricSelf, s.fabricVer = c, self, ver
+	s.mu.Unlock()
+	return c, self, nil
 }
 
 // handleConfigure creates the store server from the client's engine
@@ -445,6 +642,10 @@ func (s *Server) configureLocked(payload []byte) error {
 	if s.dur != nil {
 		store.EnablePersistence(s.dur, s.durableHeader)
 	}
+	// Every mutation this daemon serves (insert, classify, repair) drops
+	// its cached query results — a coordinator can never answer across
+	// an index change it has itself applied.
+	store.OnMutation(s.invalidateSearchCache)
 	store.Attach(s) // registers services under smu, not s.mu
 	s.store = store
 	s.configJSON = append([]byte(nil), payload...)
