@@ -21,9 +21,17 @@
 // gated EXACTLY (any drift is a behavior change, not noise), while
 // throughput and p50/p99 latency are wall-clock and gated at
 // -time-tolerance (throughput inverted: lower is the regression). A
-// report may carry only a coordinator section — sweep and coordinator
-// comparisons each run when both sides have the data, and the check
-// fails if neither could be compared.
+// report may carry only a coordinator section — sweep, coordinator and
+// codec comparisons each run when both sides have the data, and the
+// check fails if none could be compared.
+//
+// When both reports carry a "codec" section (hdkbench -codec), the
+// per-benchmark allocation counters are gated EXACTLY (the workload is
+// fixed, so any drift is a code change) and ns/op at -time-tolerance.
+// A baseline benchmark carrying allocs_before — its pre-optimization
+// allocation count — additionally requires the candidate to stay
+// STRICTLY below it: the hot-path microperf win must never be silently
+// lost, not merely never regress past the current number.
 package main
 
 import (
@@ -90,8 +98,8 @@ func check(basePath, candPath string, tol, timeTol float64) (regressions []strin
 
 	baseRuns := index(base)
 	candRuns := index(cand)
-	if len(candRuns) == 0 && cand.Coordinator == nil {
-		return nil, 0, fmt.Errorf("candidate %s holds no HDK runs and no coordinator section", candPath)
+	if len(candRuns) == 0 && cand.Coordinator == nil && cand.Codec == nil {
+		return nil, 0, fmt.Errorf("candidate %s holds no HDK runs, no coordinator section and no codec section", candPath)
 	}
 	if len(baseRuns) > 0 && len(candRuns) > 0 {
 		for key, b := range baseRuns {
@@ -123,10 +131,54 @@ func check(basePath, candPath string, tol, timeTol float64) (regressions []strin
 		regressions = append(regressions, coordRegs...)
 		compared++
 	}
+	if codecRegs, codecCompared := checkCodec(base.Codec, cand.Codec, timeTol); codecCompared {
+		regressions = append(regressions, codecRegs...)
+		compared++
+	}
 	if compared == 0 {
-		return nil, 0, fmt.Errorf("nothing comparable: baseline %s and candidate %s share no sweep runs or coordinator section", basePath, candPath)
+		return nil, 0, fmt.Errorf("nothing comparable: baseline %s and candidate %s share no sweep runs, coordinator section or codec section", basePath, candPath)
 	}
 	return regressions, compared, nil
+}
+
+// checkCodec compares the hot-path codec microbench sections when both
+// reports carry them. The workload is fixed, so allocation counters
+// must match the baseline exactly; ns/op is wall-clock and gated at
+// the time tolerance. A baseline entry with allocs_before pins the
+// pre-optimization cost — the candidate must stay strictly below it,
+// so the microperf win can never be lost without tripping the gate.
+func checkCodec(b, c *experiments.CodecReport, timeTol float64) (regressions []string, compared bool) {
+	if b == nil || c == nil {
+		return nil, false
+	}
+	candByName := make(map[string]experiments.CodecBenchmark, len(c.Benchmarks))
+	for _, bm := range c.Benchmarks {
+		candByName[bm.Name] = bm
+	}
+	for _, bb := range b.Benchmarks {
+		cb, ok := candByName[bb.Name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("codec %s present in baseline but missing from candidate", bb.Name))
+			continue
+		}
+		if cb.AllocsPerOp != bb.AllocsPerOp {
+			regressions = append(regressions,
+				fmt.Sprintf("codec %s allocs/op: %d -> %d (fixed workload, must match exactly)",
+					bb.Name, bb.AllocsPerOp, cb.AllocsPerOp))
+		}
+		if bb.AllocsBefore > 0 && cb.AllocsPerOp >= bb.AllocsBefore {
+			regressions = append(regressions,
+				fmt.Sprintf("codec %s allocs/op: %d is not below the pre-optimization %d — the microperf win was lost",
+					bb.Name, cb.AllocsPerOp, bb.AllocsBefore))
+		}
+		if bb.NsPerOp > 0 && cb.NsPerOp > bb.NsPerOp*(1+timeTol) {
+			regressions = append(regressions,
+				fmt.Sprintf("codec %s ns/op: %.4g -> %.4g (+%.1f%%, time tolerance %.0f%%)",
+					bb.Name, bb.NsPerOp, cb.NsPerOp, 100*(cb.NsPerOp/bb.NsPerOp-1), 100*timeTol))
+		}
+	}
+	return regressions, true
 }
 
 // checkCoordinator compares the node-side serving measurements when

@@ -12,6 +12,7 @@
 //	         [-fanout N] [-replicas R[,R...]] [-kill F] [-json PATH] [-quiet]
 //	hdkbench -connect HOST:PORT [-scale ...] [-replicas R] [-json PATH]
 //	hdkbench -connect HOST:PORT -coordinator [-clients N] [-json PATH]
+//	hdkbench -connect HOST:PORT -saturate [-clients N] [-json PATH]
 //
 // The small scale finishes in seconds, medium in minutes; paper runs the
 // verbatim Table 2 parameters (hours in one process). -json additionally
@@ -27,6 +28,14 @@
 // the node-side serving path: every query is one hdk.search RPC, and
 // -clients N closed-loop clients measure throughput and p50/p99 latency
 // on top of deterministic cold-pass counters and a result-cache proof.
+//
+// -saturate instead drives offered load deliberately past the
+// coordinator's capacity (the cluster must be booted with a tiny
+// -search-workers/-search-queue) and gates the bounded-serving
+// contract: explicit rejections with retry-after hints, bounded p99
+// for accepted requests, bit-identical answers, full recovery once the
+// load stops. It exits nonzero unless every gate holds — the CI
+// saturation smoke.
 package main
 
 import (
@@ -51,12 +60,14 @@ func main() {
 	connect := flag.String("connect", "", "address of any hdknode daemon: bench a live multi-process cluster instead of the in-process sweep")
 	coordinator := flag.Bool("coordinator", false, "with -connect: bench the node-side hdk.search path (one RPC per query) instead of the fat client")
 	clients := flag.Int("clients", 4, "with -coordinator: concurrent closed-loop clients for the throughput/latency phase")
+	codec := flag.Bool("codec", false, "run the hot-path codec microbench (allocation counts per wire-codec op) instead of a sweep")
+	saturate := flag.Bool("saturate", false, "with -connect: drive offered load past the coordinator's capacity and gate the bounded-serving contract (exits nonzero unless every gate holds)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
-	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *kill, *fanout, *clients, *coordinator, *quiet, setFlags); err != nil {
+	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *kill, *fanout, *clients, *coordinator, *codec, *saturate, *quiet, setFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hdkbench:", err)
 		os.Exit(1)
 	}
@@ -78,7 +89,7 @@ func parseReplicas(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill float64, fanout, clients int, coordinator, quiet bool, setFlags map[string]bool) error {
+func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill float64, fanout, clients int, coordinator, codec, saturate, quiet bool, setFlags map[string]bool) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -105,6 +116,54 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 	}
 	if coordinator && connect == "" {
 		return fmt.Errorf("-coordinator requires -connect (only daemons coordinate)")
+	}
+	if codec {
+		// The codec microbench needs no cluster, sweep or experiment
+		// selection; reject combinations rather than silently running
+		// something other than what was asked for.
+		for _, name := range []string{"connect", "coordinator", "clients", "experiment", "fabric", "kill", "replicas", "fanout"} {
+			if setFlags[name] {
+				return fmt.Errorf("-%s does not apply to -codec (hot-path microbench)", name)
+			}
+		}
+		rep := experiments.CodecBench(progress)
+		rep.Fprint(os.Stdout)
+		if jsonPath != "" {
+			return experiments.WriteJSON(jsonPath, &experiments.BenchReport{Scale: scale, Codec: rep})
+		}
+		return nil
+	}
+	if saturate {
+		if connect == "" {
+			return fmt.Errorf("-saturate requires -connect (it drives a live cluster)")
+		}
+		// The saturation gate has fixed CI parameters; reject flags that
+		// would suggest they apply.
+		for _, name := range []string{"coordinator", "experiment", "fabric", "kill", "replicas", "fanout", "scale"} {
+			if setFlags[name] {
+				return fmt.Errorf("-%s does not apply to -saturate (bounded-serving gate)", name)
+			}
+		}
+		opts := experiments.DefaultSaturationOpts()
+		if setFlags["clients"] {
+			opts.Clients = clients
+		}
+		tr := transport.NewTCP()
+		defer tr.Close()
+		rep, err := experiments.SaturationConnect(tr, connect, opts, progress)
+		if err != nil {
+			return err
+		}
+		rep.Fprint(os.Stdout)
+		if jsonPath != "" {
+			if err := experiments.WriteJSON(jsonPath, &experiments.BenchReport{Scale: scale, Saturation: rep}); err != nil {
+				return err
+			}
+		}
+		if !rep.Clean() {
+			return fmt.Errorf("saturation gates failed (see report above)")
+		}
+		return nil
 	}
 	if setFlags["clients"] && !coordinator {
 		return fmt.Errorf("-clients applies to the -coordinator bench only")

@@ -10,8 +10,12 @@
 // view (replica failover included), so a thin client pays one RPC per
 // query instead of orchestrating the fan-out itself (hdksearch -connect
 // -coordinator). Coordinations are bounded by a worker pool
-// (-search-workers) and answered from a per-node query-result LRU
-// (-search-cache) that every locally served index mutation invalidates.
+// (-search-workers) plus a bounded admission queue (-search-queue):
+// when both are full the daemon sheds the request with an explicit
+// overload rejection carrying a retry-after hint, instead of letting
+// p99 grow without limit. Repeat queries are answered from a per-node
+// query-result LRU (-search-cache) that every locally served index
+// mutation invalidates.
 //
 // Usage:
 //
@@ -56,17 +60,18 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (empty: index lives in RAM only)")
 	fsync := flag.String("fsync", "always", "op-log fsync policy with -data: always|batch|never")
 	compactBytes := flag.Int64("compact-bytes", 0, "op-log size triggering snapshot compaction (0: 4 MiB default, <0: only on shutdown)")
-	searchWorkers := flag.Int("search-workers", 0, "concurrent hdk.search coordinations this daemon runs (0: default 8; excess requests queue)")
+	searchWorkers := flag.Int("search-workers", 0, "concurrent hdk.search coordinations this daemon runs (0: default 8)")
+	searchQueue := flag.Int("search-queue", -1, "hdk.search requests allowed to wait for a worker before the daemon sheds with an overload rejection (-1: default 32, 0: shed when all workers busy)")
 	searchCache := flag.Int("search-cache", -1, "query-result cache entries (-1: default 1024, 0: disable result caching)")
 	flag.Parse()
 
-	if err := run(*listen, *join, *replicas, *callTimeout, *dataDir, *fsync, *compactBytes, *searchWorkers, *searchCache); err != nil {
+	if err := run(*listen, *join, *replicas, *callTimeout, *dataDir, *fsync, *compactBytes, *searchWorkers, *searchQueue, *searchCache); err != nil {
 		fmt.Fprintln(os.Stderr, "hdknode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, fsync string, compactBytes int64, searchWorkers, searchCache int) error {
+func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, fsync string, compactBytes int64, searchWorkers, searchQueue, searchCache int) error {
 	var dur *durable.Store
 	if dataDir != "" {
 		policy, err := durable.ParsePolicy(fsync)
@@ -83,7 +88,7 @@ func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, 
 	if err != nil {
 		return err
 	}
-	srv.ConfigureSearch(searchWorkers, searchCache)
+	srv.ConfigureSearch(searchWorkers, searchQueue, searchCache)
 	if dur != nil {
 		// Replay snapshot + op log BEFORE joining: a warm daemon
 		// announces itself already holding its restored key inventory.

@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -107,10 +108,16 @@ func (e *DistributedST) makeInsertHandler(store *stStore) func([]byte) ([]byte, 
 		store.mu.Lock()
 		defer store.mu.Unlock()
 		for _, m := range batch {
-			before := len(store.lists[m.Key])
-			merged := postings.Union(store.lists[m.Key], m.List)
-			store.lists[m.Key] = merged
-			e.Traffic.StoredPostings.Add(uint64(len(merged) - before))
+			old, ok := store.lists[m.Key]
+			merged := postings.Union(old, m.List)
+			key := m.Key
+			if !ok {
+				// The map retains the key; clone it so a key substringing
+				// the decoded batch does not pin the request buffer.
+				key = strings.Clone(m.Key)
+			}
+			store.lists[key] = merged
+			e.Traffic.StoredPostings.Add(uint64(len(merged) - len(old)))
 		}
 		return nil, nil
 	}

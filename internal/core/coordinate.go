@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/corpus"
@@ -120,7 +121,16 @@ type latticeSearch struct {
 func (ls *latticeSearch) run(terms []string, maxSize, k int) (*SearchResult, error) {
 	res := &SearchResult{}
 	status := make(map[string]KeyStatus)
-	var acc postings.List
+	// The score accumulator ping-pongs between two pooled buffers: each
+	// union writes into the spare, then the roles swap. Safe because
+	// TopKByScore copies the accumulator into the result, so nothing
+	// references either buffer once the query returns them to the pool.
+	bufs := accPool.Get().(*accBuffers)
+	acc, spare := bufs.a[:0], bufs.b[:0]
+	defer func() {
+		bufs.a, bufs.b = acc, spare
+		accPool.Put(bufs)
+	}()
 	for size := 1; size <= maxSize; size++ {
 		level := levelCandidates(terms, size, status)
 		if len(level) == 0 {
@@ -152,7 +162,8 @@ func (ls *latticeSearch) run(terms []string, maxSize, k int) (*SearchResult, err
 			if !o.fromCache {
 				res.FetchedPosts += uint64(len(o.list))
 			}
-			acc = postings.Union(acc, o.list)
+			spare = postings.UnionInto(spare, acc, o.list)
+			acc, spare = spare, acc
 		}
 	}
 	ls.traffic.FetchedPosts.Add(res.FetchedPosts)
@@ -163,6 +174,13 @@ func (ls *latticeSearch) run(terms []string, maxSize, k int) (*SearchResult, err
 	res.Results = rank.TopKByScore(acc, k)
 	return res, nil
 }
+
+// accBuffers is one query's pair of score-accumulator buffers; the pool
+// lets steady-state queries union posting lists with zero allocations
+// once the buffers have grown to the working-set size.
+type accBuffers struct{ a, b postings.List }
+
+var accPool = sync.Pool{New: func() any { return &accBuffers{} }}
 
 // levelCandidates enumerates the size-`size` subsets of the ordered
 // query terms that survive subsumption pruning, as canonical key
@@ -367,6 +385,12 @@ func (ls *latticeSearch) probeLevel(level []string, res *SearchResult) ([]probeO
 	return outcomes, nil
 }
 
+// fetchReqPool recycles fetch-request buffers. Safe because CallService
+// never retains the request past its return: transports write it to the
+// wire (retries included) before returning, and in-process handlers
+// decode it into their own copies.
+var fetchReqPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // fetchOwnerBatch issues one multi-key fetch to an index node and fills
 // the outcome slots assigned to it.
 func (ls *latticeSearch) fetchOwnerBatch(addr string, idxs []int, outcomes []probeOutcome) error {
@@ -374,7 +398,11 @@ func (ls *latticeSearch) fetchOwnerBatch(addr string, idxs []int, outcomes []pro
 	for i, idx := range idxs {
 		keys[i] = outcomes[idx].canonical
 	}
-	raw, err := ls.net.CallService(addr, SvcFetchBatch, encodeFetchBatchReq(keys))
+	bp := fetchReqPool.Get().(*[]byte)
+	req := postings.EncodeKeyList((*bp)[:0], keys)
+	raw, err := ls.net.CallService(addr, SvcFetchBatch, req)
+	*bp = req
+	fetchReqPool.Put(bp)
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,10 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/postings"
@@ -48,11 +51,13 @@ const maxSearchK = 1 << 20
 // encoding is canonical (no redundant representations), so the raw
 // request bytes double as the coordinator's cache key.
 func EncodeSearchRequest(req SearchRequest) []byte {
-	buf := binary.AppendUvarint(nil, uint64(req.K))
 	var flags uint64
 	if req.NoCache {
 		flags |= searchReqFlagNoCache
 	}
+	size := postings.UvarintSize(uint64(req.K)) + postings.UvarintSize(flags) +
+		postings.KeyListSize(req.Terms)
+	buf := binary.AppendUvarint(make([]byte, 0, size), uint64(req.K))
 	buf = binary.AppendUvarint(buf, flags)
 	return postings.EncodeKeyList(buf, req.Terms)
 }
@@ -85,7 +90,17 @@ func DecodeSearchRequest(payload []byte) (SearchRequest, error) {
 // byte-identical ranking the coordinator computed) followed by the
 // per-query cost metrics.
 func EncodeSearchResult(res *SearchResult) []byte {
-	buf := binary.AppendUvarint(nil, uint64(len(res.Results)))
+	size := postings.UvarintSize(uint64(len(res.Results)))
+	for _, r := range res.Results {
+		size += postings.UvarintSize(uint64(r.Doc)) + 8
+	}
+	size += postings.UvarintSize(res.FetchedPosts) +
+		postings.UvarintSize(uint64(res.ProbedKeys)) +
+		postings.UvarintSize(uint64(res.FoundKeys)) +
+		postings.UvarintSize(uint64(res.RPCs)) +
+		postings.UvarintSize(uint64(res.Rounds)) +
+		postings.UvarintSize(uint64(res.Failovers))
+	buf := binary.AppendUvarint(make([]byte, 0, size), uint64(len(res.Results)))
 	for _, r := range res.Results {
 		buf = binary.AppendUvarint(buf, uint64(r.Doc))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Score))
@@ -140,12 +155,64 @@ func DecodeSearchResult(body []byte) (*SearchResult, error) {
 	return res, nil
 }
 
+// Response frame flags: byte 0 of every hdk.search response. 0 is a
+// freshly coordinated answer, 1 a cache hit, 2 an overload rejection
+// (admission control shed the request; the body is a retry-after hint).
+const (
+	searchRespFresh      = 0
+	searchRespCached     = 1
+	searchRespOverloaded = 2
+)
+
+// maxRetryAfterMS bounds the wire-carried retry-after hint — far above
+// any real backoff, low enough that a corrupt varint cannot park a
+// well-behaved client for hours.
+const maxRetryAfterMS = 60_000
+
+// ErrOverloaded is the sentinel matched by errors.Is when a coordinator
+// sheds a search under admission control. The concrete error in the
+// chain is *OverloadError, which carries the daemon's retry-after hint.
+var ErrOverloaded = errors.New("core: coordinator overloaded")
+
+// OverloadError is a typed search rejection: the coordinator's worker
+// pool and admission queue were both full, and the daemon shed the
+// request instead of queueing it unboundedly. RetryAfter is the
+// daemon's backoff hint (always positive on a decoded rejection).
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("core: coordinator overloaded (retry after %v)", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match any overload rejection.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// EncodeSearchOverloaded frames an overload rejection carrying the
+// retry-after hint, floored at 1ms so a decoded rejection always has a
+// positive hint. Shedding is a transport-level SUCCESS (the daemon
+// answered; the answer is "not now"): a handler error would be
+// indistinguishable from a broken daemon and retried as transient by
+// the RPC layer instead of backed off by the search client.
+func EncodeSearchOverloaded(retryAfter time.Duration) []byte {
+	ms := uint64(retryAfter / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > maxRetryAfterMS {
+		ms = maxRetryAfterMS
+	}
+	return binary.AppendUvarint([]byte{searchRespOverloaded}, ms)
+}
+
 // EncodeSearchResponse frames a response: a served-from-cache flag byte
 // ahead of the result body.
 func EncodeSearchResponse(body []byte, cached bool) []byte {
-	flag := byte(0)
+	flag := byte(searchRespFresh)
 	if cached {
-		flag = 1
+		flag = searchRespCached
 	}
 	out := make([]byte, 0, 1+len(body))
 	return append(append(out, flag), body...)
@@ -155,14 +222,23 @@ func EncodeSearchResponse(body []byte, cached bool) []byte {
 // answer and whether the coordinator served it from its result cache.
 // A cached response carries the metrics recorded when the answer was
 // first computed — the cost of the original coordination, not of the
-// (free) cache hit.
+// (free) cache hit. An overload frame decodes into a *OverloadError
+// (errors.Is-matchable against ErrOverloaded) carrying the daemon's
+// retry-after hint.
 func DecodeSearchResponse(resp []byte) (*SearchResult, bool, error) {
-	if len(resp) == 0 || resp[0] > 1 {
+	if len(resp) == 0 || resp[0] > searchRespOverloaded {
 		return nil, false, errCorruptRPC
+	}
+	if resp[0] == searchRespOverloaded {
+		ms, n := binary.Uvarint(resp[1:])
+		if n <= 0 || 1+n != len(resp) || ms < 1 || ms > maxRetryAfterMS {
+			return nil, false, errCorruptRPC
+		}
+		return nil, false, &OverloadError{RetryAfter: time.Duration(ms) * time.Millisecond}
 	}
 	res, err := DecodeSearchResult(resp[1:])
 	if err != nil {
 		return nil, false, err
 	}
-	return res, resp[0] == 1, nil
+	return res, resp[0] == searchRespCached, nil
 }

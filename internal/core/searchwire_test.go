@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/overlay"
@@ -135,6 +137,58 @@ func TestSearchResponseCorrupt(t *testing.T) {
 	}
 }
 
+// TestSearchOverloadRoundTrip pins the overload rejection frame: the
+// retry-after hint survives the wire (floored at 1ms, capped at 60s),
+// the decode surfaces a *OverloadError matchable via errors.Is, and a
+// rejection is a decode-level error, never a result.
+func TestSearchOverloadRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+	}{
+		{0, time.Millisecond},                      // floored: a hint is always positive
+		{300 * time.Microsecond, time.Millisecond}, // sub-ms floors too
+		{time.Millisecond, time.Millisecond},
+		{25 * time.Millisecond, 25 * time.Millisecond},
+		{time.Second, time.Second},
+		{5 * time.Minute, 60 * time.Second}, // capped at maxRetryAfterMS
+	}
+	for _, tc := range cases {
+		res, cached, err := DecodeSearchResponse(EncodeSearchOverloaded(tc.in))
+		if res != nil || cached {
+			t.Fatalf("hint %v: overload decoded to a result (%+v cached=%v)", tc.in, res, cached)
+		}
+		var ov *OverloadError
+		if !errors.As(err, &ov) {
+			t.Fatalf("hint %v: got %v, want *OverloadError", tc.in, err)
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("hint %v: errors.Is(err, ErrOverloaded) = false", tc.in)
+		}
+		if ov.RetryAfter != tc.want {
+			t.Fatalf("hint %v: decoded retry-after %v, want %v", tc.in, ov.RetryAfter, tc.want)
+		}
+	}
+}
+
+// TestSearchOverloadCorrupt: malformed overload frames are corrupt RPCs,
+// not zero-valued backoff hints.
+func TestSearchOverloadCorrupt(t *testing.T) {
+	valid := EncodeSearchOverloaded(25 * time.Millisecond)
+	cases := map[string][]byte{
+		"flag only, no hint": {2},
+		"zero hint":          {2, 0},
+		"hint beyond cap":    binary.AppendUvarint([]byte{2}, maxRetryAfterMS+1),
+		"huge hint":          {2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"trailing garbage":   append(append([]byte{}, valid...), 0x00),
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeSearchResponse(buf); !errors.Is(err, errCorruptRPC) {
+			t.Errorf("%s: got %v, want errCorruptRPC", name, err)
+		}
+	}
+}
+
 func TestSearchResponseCorruptNeverPanics(t *testing.T) {
 	valid := EncodeSearchResponse(EncodeSearchResult(&SearchResult{
 		Results:    []rank.Result{{Doc: 3, Score: 1.5}, {Doc: 9, Score: 2.25}},
@@ -156,6 +210,15 @@ func TestSearchResponseCorruptNeverPanics(t *testing.T) {
 		mut := append([]byte(nil), reqValid...)
 		mut[i] ^= 0xff
 		DecodeSearchRequest(mut)
+	}
+	ovValid := EncodeSearchOverloaded(37 * time.Millisecond)
+	for cut := 0; cut < len(ovValid); cut++ {
+		DecodeSearchResponse(ovValid[:cut])
+	}
+	for i := range ovValid {
+		mut := append([]byte(nil), ovValid...)
+		mut[i] ^= 0xff
+		DecodeSearchResponse(mut)
 	}
 }
 

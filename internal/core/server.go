@@ -126,7 +126,7 @@ func (s *StoreServer) AttachLocalRead(m overlay.Member) {
 		if err != nil {
 			return nil, err
 		}
-		return encodeFetchBatchResp(s.store.fetchBatch(keys)), nil
+		return s.store.fetchBatchWire(keys), nil
 	})
 }
 
@@ -311,7 +311,7 @@ func attachIndexServices(node overlay.Member, store *hdkStore, hooks persistHook
 		if err != nil {
 			return nil, err
 		}
-		return encodeFetchBatchResp(store.fetchBatch(keys)), nil
+		return store.fetchBatchWire(keys), nil
 	})
 	node.Handle(SvcKeys, func(req []byte) ([]byte, error) {
 		return postings.EncodeKeyList(nil, store.keyList()), nil

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/postings"
@@ -93,7 +94,9 @@ func (s *hdkStore) insert(key string, size int, list postings.List, contributor 
 	e, ok := s.entries[key]
 	if !ok {
 		e = &entry{size: size, contributors: make(map[string]struct{})}
-		s.entries[key] = e
+		// The map retains the key; clone it so a key substringing a
+		// decoded RPC batch does not pin the whole request buffer.
+		s.entries[strings.Clone(key)] = e
 	}
 	e.df += len(list)
 	if e.classified && e.status == StatusNDK {
@@ -189,6 +192,39 @@ func (s *hdkStore) fetchBatch(keys []string) []fetchResult {
 		out[i] = fetchResult{key: key, status: status, df: df, list: list}
 	}
 	return out
+}
+
+// fetchBatchWire answers one multi-key fetch directly in wire form: the
+// exact response size is computed first, then statuses, dfs and
+// idf-scaled posting lists are encoded into one allocation — the scored
+// values never materialize as an intermediate list, because their
+// lifetime ends the moment they are written into the response buffer.
+// The bytes are identical to encodeFetchBatchResp(fetchBatch(keys)).
+func (s *hdkStore) fetchBatchWire(keys []string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := postings.UvarintSize(uint64(len(keys)))
+	for _, key := range keys {
+		size += postings.UvarintSize(uint64(len(key))) + len(key)
+		if e, ok := s.entries[key]; ok && e.classified {
+			size += postings.UvarintSize(uint64(e.df)<<2|uint64(e.status)) + postings.EncodedSize(e.list)
+		} else {
+			size += 2 // absent: aux 0 + empty list count
+		}
+	}
+	buf := binary.AppendUvarint(make([]byte, 0, size), uint64(len(keys)))
+	for _, key := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(key)))
+		buf = append(buf, key...)
+		e, ok := s.entries[key]
+		if !ok || !e.classified {
+			buf = append(buf, 0, 0)
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(e.df)<<2|uint64(e.status))
+		buf = postings.EncodeScaled(buf, e.list, float32(s.cfg.Stats.IDF(e.df)))
+	}
+	return buf
 }
 
 // keyList returns the store's resident keys in sorted order (the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
@@ -64,6 +65,33 @@ func TestFetchBatchRespCorrupt(t *testing.T) {
 	for cut := 0; cut < len(valid); cut++ {
 		if _, err := decodeFetchBatchResp(valid[:cut]); err == nil {
 			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// TestFetchBatchWireMatchesEncodedBatch pins the hot-path contract:
+// the single-pass fetchBatchWire must produce bytes IDENTICAL to
+// materializing the batch and encoding it — the daemons' fetch
+// responses did not change when the intermediate allocation was cut.
+func TestFetchBatchWireMatchesEncodedBatch(t *testing.T) {
+	cfg := DefaultConfig(rank.CollectionStats{NumDocs: 100, AvgDocLen: 50})
+	cfg.DFMax = 2
+	store := newHDKStore(&cfg)
+	store.insert("solo", 1, postings.List{{Doc: 1, Score: 1}}, "peer-0")
+	store.insert("pop", 1, postings.List{{Doc: 1, Score: 1}, {Doc: 2, Score: 2}, {Doc: 3, Score: 3}}, "peer-0")
+	store.classifySweep(1)
+	store.insert("unclassified", 1, postings.List{{Doc: 9, Score: 1}}, "peer-0")
+
+	for _, keys := range [][]string{
+		{"solo", "pop", "unclassified", "absent", ""},
+		{"absent-only"},
+		{},
+		{"pop", "pop"},
+	} {
+		want := encodeFetchBatchResp(store.fetchBatch(keys))
+		got := store.fetchBatchWire(keys)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("keys %q: wire fast path diverges\nwant %x\ngot  %x", keys, want, got)
 		}
 	}
 }

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/postings"
+	"repro/internal/rank"
+)
+
+// This file implements the hot-path codec microbench (hdkbench -codec):
+// allocation and wall-clock counts for the per-query wire codecs — the
+// search request/result encodes the coordination RPC pays on every
+// query, the postings and keyed-batch codecs every fetch RPC pays, and
+// the union fold the lattice accumulator runs per found key. The
+// workload is fixed and deterministic, so the allocation counters are
+// exactly reproducible and cmd/benchcheck gates them exactly (wall-clock
+// gets the usual wide tolerance). The committed baseline additionally
+// pins each benchmark's pre-optimization allocation count
+// (allocs_before), so the gate fails if the microperf win is ever lost,
+// not just if a candidate regresses past the current number.
+
+// CodecBenchmark is one codec measurement: testing.Benchmark output for
+// a fixed workload. AllocsBefore, when set in a committed baseline,
+// records the allocation count the same workload cost before the
+// hot-path optimization pass — candidates must stay strictly below it.
+type CodecBenchmark struct {
+	Name         string  `json:"name"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsBefore int64   `json:"allocs_before,omitempty"`
+}
+
+// CodecReport is the -codec section of a BENCH_*.json report.
+type CodecReport struct {
+	Benchmarks []CodecBenchmark `json:"benchmarks"`
+}
+
+// codecWorkload is the fixed input set every benchmark runs over:
+// realistic shapes (a 4-term query, a 10-result answer, a 256-posting
+// list, an 8-key fetch batch, a 16-list accumulation) with fully
+// deterministic contents.
+type codecWorkload struct {
+	req      core.SearchRequest
+	reqBytes []byte
+
+	res  *core.SearchResult
+	body []byte
+
+	list      postings.List
+	listBytes []byte
+
+	batch      []postings.KeyedMessage
+	batchBytes []byte
+
+	lists []postings.List
+}
+
+func newCodecWorkload() *codecWorkload {
+	w := &codecWorkload{}
+
+	w.req = core.SearchRequest{
+		Terms: []string{"marginal", "utility", "discriminative", "keys"},
+		K:     10,
+	}
+	w.reqBytes = core.EncodeSearchRequest(w.req)
+
+	w.res = &core.SearchResult{
+		FetchedPosts: 4096, ProbedKeys: 25, FoundKeys: 11,
+		RPCs: 9, Rounds: 3, Failovers: 1,
+	}
+	for i := 0; i < 10; i++ {
+		w.res.Results = append(w.res.Results,
+			rank.Result{Doc: corpus.DocID(37*i + 5), Score: 12.75 - float64(i)*0.5})
+	}
+	w.body = core.EncodeSearchResult(w.res)
+
+	w.list = make(postings.List, 256)
+	for i := range w.list {
+		w.list[i] = postings.Posting{Doc: corpus.DocID(i*7 + 3), Score: float32(i%13) + 0.5}
+	}
+	w.listBytes = postings.Encode(nil, w.list)
+
+	for i := 0; i < 8; i++ {
+		sub := make(postings.List, 12)
+		for j := range sub {
+			sub[j] = postings.Posting{Doc: corpus.DocID(j*11 + i), Score: float32(j) + 0.25}
+		}
+		w.batch = append(w.batch, postings.KeyedMessage{
+			Key:  fmt.Sprintf("term%02d term%02d", i, i+1),
+			Aux:  uint64(140+i)<<2 | 2,
+			List: sub,
+		})
+	}
+	w.batchBytes = postings.EncodeKeyedBatch(nil, w.batch)
+
+	for i := 0; i < 16; i++ {
+		l := make(postings.List, 48)
+		for j := range l {
+			l[j] = postings.Posting{Doc: corpus.DocID(j*8 + i%4), Score: float32(i+j) * 0.125}
+		}
+		w.lists = append(w.lists, l)
+	}
+	return w
+}
+
+// codecSink defeats dead-code elimination across benchmark iterations.
+var codecSink any
+
+// CodecBench measures the hot-path codecs over the fixed workload.
+func CodecBench(progress Progress) *CodecReport {
+	if progress == nil {
+		progress = nopProgress
+	}
+	w := newCodecWorkload()
+	rep := &CodecReport{}
+	run := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		bm := CodecBenchmark{
+			Name:        name,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			NsPerOp:     float64(r.NsPerOp()),
+		}
+		progress("codec: %-22s %6d allocs/op %8d B/op %10.0f ns/op", name, bm.AllocsPerOp, bm.BytesPerOp, bm.NsPerOp)
+		rep.Benchmarks = append(rep.Benchmarks, bm)
+	}
+
+	run("search_request_encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			codecSink = core.EncodeSearchRequest(w.req)
+		}
+	})
+	run("search_request_decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := core.DecodeSearchRequest(w.reqBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			codecSink = r
+		}
+	})
+	run("search_result_encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			codecSink = core.EncodeSearchResult(w.res)
+		}
+	})
+	run("search_result_decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := core.DecodeSearchResult(w.body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			codecSink = r
+		}
+	})
+	run("postings_encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			codecSink = postings.Encode(nil, w.list)
+		}
+	})
+	run("postings_decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l, _, err := postings.Decode(w.listBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			codecSink = l
+		}
+	})
+	run("keyed_batch_encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			codecSink = postings.EncodeKeyedBatch(nil, w.batch)
+		}
+	})
+	run("keyed_batch_decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ms, err := postings.DecodeKeyedBatch(w.batchBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			codecSink = ms
+		}
+	})
+	run("union_fold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			codecSink = postings.UnionAll(w.lists)
+		}
+	})
+	return rep
+}
+
+// Fprint renders the codec bench report.
+func (r *CodecReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Codec microbench — %d hot-path codec workloads\n", len(r.Benchmarks))
+	for _, bm := range r.Benchmarks {
+		fmt.Fprintf(w, "%-22s %6d allocs/op %8d B/op %10.0f ns/op", bm.Name, bm.AllocsPerOp, bm.BytesPerOp, bm.NsPerOp)
+		if bm.AllocsBefore > 0 {
+			fmt.Fprintf(w, "  (pre-optimization: %d allocs/op)", bm.AllocsBefore)
+		}
+		fmt.Fprintln(w)
+	}
+}

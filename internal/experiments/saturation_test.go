@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/transport/cluster"
+)
+
+// TestTCPSaturationE2E boots a real 5-process hdknode cluster whose
+// daemons run a deliberately tiny serving capacity (-search-workers 2
+// -search-queue 2) and drives offered load past it: the coordinator
+// must shed the excess with explicit retry-after rejections, keep p99
+// bounded for the requests it accepts, answer every accepted request
+// bit-identically to the in-process reference, and return to accepting
+// everything one backoff cycle after the load stops. This is a CI
+// cluster-e2e gate; skipped under -short because it compiles a binary
+// and forks children. With SATURATION_LOG_DIR set, the daemons' stderr
+// goes to a file there instead of the test's stderr (the CI artifact
+// uploaded on failure).
+func TestTCPSaturationE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes; skipped in -short mode")
+	}
+	bin := os.Getenv("HDKNODE_BIN") // CI prebuilds the daemon once
+	if bin == "" {
+		var err error
+		if bin, err = cluster.BuildHDKNode(t.TempDir()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := DefaultSaturationOpts()
+
+	stderr := os.Stderr
+	if dir := os.Getenv("SATURATION_LOG_DIR"); dir != "" {
+		f, err := os.Create(filepath.Join(dir, "saturation-nodes.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		stderr = f
+	}
+	h := &cluster.Harness{Bin: bin, Stderr: stderr}
+	if err := h.Start(opts.Nodes, opts.Replicas,
+		"-search-workers", "2", "-search-queue", "2"); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+
+	tr := transport.NewTCP()
+	defer tr.Close()
+	rep, err := Saturation(tr, h.Addrs(), opts, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Fprint(os.Stderr)
+
+	if rep.Rejected == 0 {
+		t.Error("no request was shed — the load never saturated the daemon (queue too roomy?)")
+	}
+	if rep.MissingHint != 0 {
+		t.Errorf("%d rejections carried no positive retry-after hint", rep.MissingHint)
+	}
+	if rep.ParityMismatches != 0 {
+		t.Errorf("%d accepted answers diverged from the in-process reference", rep.ParityMismatches)
+	}
+	if rep.AcceptedP99Nanos > rep.P99BoundNanos {
+		t.Errorf("accepted p99 %.3fms exceeds the %.0fms bound — admission is queueing, not shedding",
+			float64(rep.AcceptedP99Nanos)/1e6, float64(rep.P99BoundNanos)/1e6)
+	}
+	if rep.RecoveryRejected != 0 {
+		t.Errorf("%d recovery requests still shed one backoff cycle after the load stopped", rep.RecoveryRejected)
+	}
+	if rep.RecoveryMismatches != 0 {
+		t.Errorf("%d recovery answers diverged from the reference", rep.RecoveryMismatches)
+	}
+	if rep.DaemonRejected != rep.Rejected {
+		t.Errorf("daemons count %d sheds, clients observed %d", rep.DaemonRejected, rep.Rejected)
+	}
+	if rep.QueueDepthAfter != 0 {
+		t.Errorf("%d coordinations still queued after the run", rep.QueueDepthAfter)
+	}
+	if !rep.Clean() {
+		t.Error("report does not satisfy every saturation gate")
+	}
+}

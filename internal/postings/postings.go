@@ -85,7 +85,19 @@ func (l List) Contains(doc corpus.DocID) bool {
 // score aggregation across keys: a document reached via several keys
 // accumulates their partial scores).
 func Union(a, b List) List {
-	out := make(List, 0, len(a)+len(b))
+	return UnionInto(nil, a, b)
+}
+
+// UnionInto is Union with a caller-owned destination buffer: the merge
+// writes into dst's backing array (grown once if too small) so a caller
+// folding many unions can ping-pong two buffers instead of allocating
+// per fold. dst must not alias a or b. The merge order and score
+// additions are identical to Union, so results stay bit-identical.
+func UnionInto(dst, a, b List) List {
+	if need := len(a) + len(b); cap(dst) < need || dst == nil {
+		dst = make(List, 0, need)
+	}
+	out := dst[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -125,11 +137,21 @@ func Intersect(a, b List) List {
 	return out
 }
 
-// UnionAll folds Union over many lists.
+// UnionAll folds Union over many lists, ping-ponging two presized
+// buffers so the fold costs two allocations regardless of list count.
 func UnionAll(lists []List) List {
-	var acc List
+	if len(lists) == 0 {
+		return nil
+	}
+	total := 0
 	for _, l := range lists {
-		acc = Union(acc, l)
+		total += len(l)
+	}
+	acc := make(List, 0, total)
+	spare := make(List, 0, total)
+	for _, l := range lists {
+		spare = UnionInto(spare, acc, l)
+		acc, spare = spare, acc
 	}
 	return acc
 }
@@ -167,8 +189,24 @@ func (l List) TopK(k int) List {
 // ErrCorrupt is returned by Decode on malformed input.
 var ErrCorrupt = errors.New("postings: corrupt encoding")
 
-// Encode serializes the list. The caller may pass a reusable buffer.
+// Encode serializes the list. The caller may pass a reusable buffer;
+// either way the output is written into at most one fresh allocation
+// (the exact encoded size is computed up front).
 func Encode(buf []byte, l List) []byte {
+	return EncodeScaled(buf, l, 1)
+}
+
+// EncodeScaled serializes the list with every score multiplied by scale
+// before its bits hit the wire. The fetch path applies the idf factor
+// this way during response encoding, so no intermediate scored list is
+// materialized; the multiplication is the same float32 operation a
+// scored copy would have applied, so decoded scores are bit-identical.
+func EncodeScaled(buf []byte, l List, scale float32) []byte {
+	if need := EncodedSize(l); cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(l)))
 	prev := uint64(0)
 	first := true
@@ -183,7 +221,13 @@ func Encode(buf []byte, l List) []byte {
 		}
 		prev = cur
 		buf = binary.AppendUvarint(buf, delta)
-		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Score))
+		score := p.Score
+		if scale != 1 {
+			// Skipped at scale 1 so Encode round-trips arbitrary score
+			// bit patterns (e.g. NaNs in corrupt imports) byte-exactly.
+			score *= scale
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(score))
 	}
 	return buf
 }
@@ -229,7 +273,7 @@ func Decode(buf []byte) (List, int, error) {
 
 // EncodedSize returns the exact wire size of the list without allocating.
 func EncodedSize(l List) int {
-	size := uvarintLen(uint64(len(l)))
+	size := UvarintSize(uint64(len(l)))
 	prev := uint64(0)
 	first := true
 	for _, p := range l {
@@ -242,12 +286,14 @@ func EncodedSize(l List) int {
 			delta = cur - prev - 1
 		}
 		prev = cur
-		size += uvarintLen(delta) + 4
+		size += UvarintSize(delta) + 4
 	}
 	return size
 }
 
-func uvarintLen(v uint64) int {
+// UvarintSize returns the encoded length of v in bytes — the sizing
+// primitive exact-size encoders build on.
+func UvarintSize(v uint64) int {
 	n := 1
 	for v >= 0x80 {
 		v >>= 7

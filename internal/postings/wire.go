@@ -19,6 +19,11 @@ type KeyedMessage struct {
 	List List
 }
 
+// KeyedSize returns the exact wire size of one keyed message.
+func KeyedSize(m KeyedMessage) int {
+	return UvarintSize(uint64(len(m.Key))) + len(m.Key) + UvarintSize(m.Aux) + EncodedSize(m.List)
+}
+
 // EncodeKeyed appends the message to buf.
 func EncodeKeyed(buf []byte, m KeyedMessage) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(m.Key)))
@@ -28,13 +33,29 @@ func EncodeKeyed(buf []byte, m KeyedMessage) []byte {
 }
 
 // DecodeKeyed parses one keyed message and returns the bytes consumed.
+// The returned key is its own allocation (safe to retain).
 func DecodeKeyed(buf []byte) (KeyedMessage, int, error) {
+	return decodeKeyedShared(buf, "")
+}
+
+// decodeKeyedShared parses one keyed message. When all is non-empty it
+// must be a string copy of buf, and the decoded key substrings it
+// instead of allocating — the batch decoder passes one copy of the
+// whole input so an N-message batch costs one string allocation, not N.
+// Callers that retain keys past the decoded batch's lifetime must clone
+// them, or they pin the whole copy.
+func decodeKeyedShared(buf []byte, all string) (KeyedMessage, int, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 || uint64(len(buf)-sz) < n {
 		return KeyedMessage{}, 0, fmt.Errorf("%w: bad key length", ErrCorrupt)
 	}
 	off := sz
-	key := string(buf[off : off+int(n)])
+	var key string
+	if all != "" {
+		key = all[off : off+int(n)]
+	} else {
+		key = string(buf[off : off+int(n)])
+	}
 	off += int(n)
 	aux, sz := binary.Uvarint(buf[off:])
 	if sz <= 0 {
@@ -48,10 +69,25 @@ func DecodeKeyed(buf []byte) (KeyedMessage, int, error) {
 	return KeyedMessage{Key: key, Aux: aux, List: list}, off + consumed, nil
 }
 
+// KeyListSize returns the exact wire size of a count-prefixed key list.
+func KeyListSize(keys []string) int {
+	size := UvarintSize(uint64(len(keys)))
+	for _, k := range keys {
+		size += UvarintSize(uint64(len(k))) + len(k)
+	}
+	return size
+}
+
 // EncodeKeyList appends a count-prefixed list of bare keys to buf — the
 // request side of batched fetches, where no aux field or posting list
-// accompanies the keys.
+// accompanies the keys. The output is written into at most one fresh
+// allocation.
 func EncodeKeyList(buf []byte, keys []string) []byte {
+	if need := KeyListSize(keys); cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(keys)))
 	for _, k := range keys {
 		buf = binary.AppendUvarint(buf, uint64(len(k)))
@@ -60,7 +96,10 @@ func EncodeKeyList(buf []byte, keys []string) []byte {
 	return buf
 }
 
-// DecodeKeyList parses a count-prefixed key list.
+// DecodeKeyList parses a count-prefixed key list. The returned keys
+// share ONE string copy of the input (an N-key request costs two
+// allocations, not N+1); a caller that retains a key past the request's
+// lifetime must clone it or it pins the whole copy.
 func DecodeKeyList(buf []byte) ([]string, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
@@ -70,6 +109,7 @@ func DecodeKeyList(buf []byte) ([]string, error) {
 		return nil, fmt.Errorf("%w: key count %d exceeds buffer", ErrCorrupt, n)
 	}
 	off := sz
+	all := string(buf)
 	out := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		l, sz := binary.Uvarint(buf[off:])
@@ -77,14 +117,24 @@ func DecodeKeyList(buf []byte) ([]string, error) {
 			return nil, fmt.Errorf("%w: bad key length", ErrCorrupt)
 		}
 		off += sz
-		out = append(out, string(buf[off:off+int(l)]))
+		out = append(out, all[off:off+int(l)])
 		off += int(l)
 	}
 	return out, nil
 }
 
-// EncodeKeyedBatch encodes a batch of keyed messages prefixed by a count.
+// EncodeKeyedBatch encodes a batch of keyed messages prefixed by a
+// count, into at most one fresh allocation.
 func EncodeKeyedBatch(buf []byte, ms []KeyedMessage) []byte {
+	need := UvarintSize(uint64(len(ms)))
+	for _, m := range ms {
+		need += KeyedSize(m)
+	}
+	if cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(ms)))
 	for _, m := range ms {
 		buf = EncodeKeyed(buf, m)
@@ -92,7 +142,9 @@ func EncodeKeyedBatch(buf []byte, ms []KeyedMessage) []byte {
 	return buf
 }
 
-// DecodeKeyedBatch parses a batch.
+// DecodeKeyedBatch parses a batch. Like DecodeKeyList, all returned
+// keys substring one copy of the input; retaining a key long-term
+// requires cloning it.
 func DecodeKeyedBatch(buf []byte) ([]KeyedMessage, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
@@ -102,9 +154,10 @@ func DecodeKeyedBatch(buf []byte) ([]KeyedMessage, error) {
 	if n > uint64(len(buf)) {
 		return nil, fmt.Errorf("%w: batch count %d exceeds buffer", ErrCorrupt, n)
 	}
+	all := string(buf)
 	out := make([]KeyedMessage, 0, n)
 	for i := uint64(0); i < n; i++ {
-		m, consumed, err := DecodeKeyed(buf[off:])
+		m, consumed, err := decodeKeyedShared(buf[off:], all[off:])
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// waitQueued polls the server's admitted-coordination counter until it
+// reaches want.
+func waitQueued(t *testing.T, s *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.amu.Lock()
+		got := s.searchQueued
+		s.amu.Unlock()
+		if got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("searchQueued = %d, want %d", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmitSearchBounds drives admitSearch through its three outcomes
+// at several worker/queue sizes: immediate admission while a worker is
+// free, a bounded wait while only queue slots are free, and an
+// immediate shed with a positive retry-after hint past both.
+func TestAdmitSearchBounds(t *testing.T) {
+	cases := []struct{ workers, queue int }{
+		{1, 0},
+		{2, 2},
+		{1, 3},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("w%dq%d", tc.workers, tc.queue), func(t *testing.T) {
+			tr := transport.NewInProc()
+			defer tr.Close()
+			s, err := NewServer(tr, "node-a", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.ConfigureSearch(tc.workers, tc.queue, -1)
+
+			// Worker slots admit without blocking.
+			releases := make([]func(), 0, tc.workers)
+			for i := 0; i < tc.workers; i++ {
+				rel, _ := s.admitSearch()
+				if rel == nil {
+					t.Fatalf("admit %d shed with all workers free", i)
+				}
+				releases = append(releases, rel)
+			}
+			// Queue slots admit but wait for a worker.
+			queued := make(chan func(), tc.queue)
+			for i := 0; i < tc.queue; i++ {
+				go func() {
+					rel, _ := s.admitSearch()
+					queued <- rel
+				}()
+			}
+			waitQueued(t, s, tc.workers+tc.queue)
+			// Past workers+queue: immediate shed, positive hint.
+			rel, retry := s.admitSearch()
+			if rel != nil {
+				rel()
+				t.Fatal("over-limit request admitted, want shed")
+			}
+			if retry <= 0 {
+				t.Fatalf("shed without a positive retry-after hint (%v)", retry)
+			}
+			// Releasing the workers lets every queued request through.
+			for _, r := range releases {
+				r()
+			}
+			for i := 0; i < tc.queue; i++ {
+				r := <-queued
+				if r == nil {
+					t.Fatalf("queued admit %d was shed", i)
+				}
+				r()
+			}
+			waitQueued(t, s, 0)
+			// Idle again: the next request is admitted immediately.
+			if rel, _ := s.admitSearch(); rel == nil {
+				t.Fatal("post-drain request shed on an idle server")
+			} else {
+				rel()
+			}
+		})
+	}
+}
+
+// TestConfigureSearchResizeDoesNotStrand is the regression test for the
+// resize bug: a coordination that acquired a permit before
+// ConfigureSearch swapped the semaphore must release into the OLD
+// channel (the closure binds it), not block on — or poison — the new
+// one.
+func TestConfigureSearchResizeDoesNotStrand(t *testing.T) {
+	tr := transport.NewInProc()
+	defer tr.Close()
+	s, err := NewServer(tr, "node-a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ConfigureSearch(1, 0, -1)
+	rel, _ := s.admitSearch() // holds the only pre-resize permit
+	s.ConfigureSearch(2, 0, -1)
+
+	// With the old code (release read s.searchSem at run time) this
+	// receive targets the NEW, empty channel and blocks forever.
+	released := make(chan struct{})
+	go func() {
+		rel()
+		close(released)
+	}()
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("release after resize blocked — permit returned to the wrong pool")
+	}
+	waitQueued(t, s, 0)
+
+	// The new pool serves its full capacity, and not more.
+	r1, _ := s.admitSearch()
+	r2, _ := s.admitSearch()
+	if r1 == nil || r2 == nil {
+		t.Fatal("resized pool shed within its worker capacity")
+	}
+	if r3, _ := s.admitSearch(); r3 != nil {
+		r3()
+		t.Fatal("resized pool admitted past workers+queue")
+	}
+	r1()
+	r2()
+	waitQueued(t, s, 0)
+}
+
+// admissionCluster boots a configured 2-daemon in-proc cluster with a
+// built index and returns a ready search request for it.
+func admissionCluster(t *testing.T) (tr transport.Transport, servers []*Server, c *Client, req core.SearchRequest) {
+	t.Helper()
+	col := testCollection(t, 60)
+	cfg := testConfig(col, 1)
+	inproc := transport.NewInProc()
+	t.Cleanup(func() { inproc.Close() })
+	servers = startInProcServers(t, inproc, 2, 1)
+	var err error
+	c, err = Connect(inproc, servers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := buildClusterEngine(t, c, col, cfg)
+	q := testQueries(col, 1)[0]
+	req = core.SearchRequest{Terms: eng.QueryTerms(q), K: 10, NoCache: true}
+	return inproc, servers, c, req
+}
+
+// TestSearchOverloadOverWire pins the shed path end to end: a daemon
+// with its worker pool saturated rejects a search over the wire with a
+// typed, errors.Is-matchable overload error carrying a positive
+// retry-after hint, counts the rejection in cluster.info, serves cache
+// hits anyway (admission guards coordination work, not cache reads),
+// and accepts again once capacity frees up.
+func TestSearchOverloadOverWire(t *testing.T) {
+	tr, servers, c, req := admissionCluster(t)
+	s := servers[0]
+	s.ConfigureSearch(1, 0, -1)
+
+	// Warm the result cache while capacity is free.
+	cacheable := req
+	cacheable.NoCache = false
+	warm, cached, err := c.TrySearchVia(s.Addr(), cacheable)
+	if err != nil || cached {
+		t.Fatalf("cache warm-up: err=%v cached=%v", err, cached)
+	}
+
+	rel, _ := s.admitSearch() // saturate the single worker
+	_, _, err = c.TrySearchVia(s.Addr(), req)
+	var ov *core.OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("saturated daemon returned %v, want *core.OverloadError", err)
+	}
+	if !errors.Is(err, core.ErrOverloaded) {
+		t.Fatal("overload error not matchable via errors.Is(err, core.ErrOverloaded)")
+	}
+	if ov.RetryAfter <= 0 {
+		t.Fatalf("rejection carried hint %v, want positive", ov.RetryAfter)
+	}
+
+	// Cache hits bypass admission even while saturated.
+	got, cached, err := c.TrySearchVia(s.Addr(), cacheable)
+	if err != nil || !cached {
+		t.Fatalf("cached search under saturation: err=%v cached=%v", err, cached)
+	}
+	if len(got.Results) != len(warm.Results) {
+		t.Fatal("cached answer diverges under saturation")
+	}
+
+	info, err := FetchInfo(tr, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SearchRejected != 1 {
+		t.Fatalf("info.SearchRejected = %d, want 1", info.SearchRejected)
+	}
+
+	rel()
+	if _, _, err := c.TrySearchVia(s.Addr(), req); err != nil {
+		t.Fatalf("search after capacity freed: %v", err)
+	}
+}
+
+// TestSearchViaBacksOffOnOverload pins the client side of the
+// contract: SearchVia keeps retrying a shedding daemon, sleeping at
+// least the daemon's hint per rejection, and succeeds once capacity
+// frees; against a daemon that never recovers it surfaces the overload
+// error after exactly searchBackoffAttempts attempts.
+func TestSearchViaBacksOffOnOverload(t *testing.T) {
+	tr, servers, c, req := admissionCluster(t)
+	s := servers[0]
+	s.ConfigureSearch(1, 0, -1)
+
+	rejectedAt := func() uint64 {
+		info, err := FetchInfo(tr, s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info.SearchRejected
+	}
+
+	rel, _ := s.admitSearch()
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.SearchVia(s.Addr(), req)
+		done <- err
+	}()
+	// Let the daemon shed at least two attempts before freeing
+	// capacity: the client must have backed off twice.
+	deadline := time.Now().Add(5 * time.Second)
+	for rejectedAt() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never retried against the saturated daemon")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("SearchVia after recovery: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*searchRetryAfter {
+		t.Fatalf("two rejections cost %v, want >= %v of backoff", elapsed, 2*searchRetryAfter)
+	}
+
+	// Never-recovering daemon: the overload surfaces after exactly
+	// searchBackoffAttempts attempts.
+	before := rejectedAt()
+	rel2, _ := s.admitSearch()
+	defer rel2()
+	_, _, err := c.SearchVia(s.Addr(), req)
+	if !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("exhausted backoff returned %v, want ErrOverloaded", err)
+	}
+	if got := rejectedAt() - before; got != searchBackoffAttempts {
+		t.Fatalf("exhaustion cost %d rejections, want %d", got, searchBackoffAttempts)
+	}
+}
+
+// TestSearchConfigureSearchRace hammers SearchVia from concurrent
+// clients while ConfigureSearch keeps resizing the worker pool, the
+// admission queue and the result cache — the scenario the release-
+// closure design exists for. Run under -race this doubles as a data-
+// race check; in any mode it must neither deadlock nor strand permits.
+func TestSearchConfigureSearchRace(t *testing.T) {
+	_, servers, c, req := admissionCluster(t)
+	addrs := []string{servers[0].Addr(), servers[1].Addr()}
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := req
+			for j := 0; j < 25; j++ {
+				r.NoCache = j%2 == 0
+				_, _, err := c.SearchVia(addrs[(w+j)%len(addrs)], r)
+				// A shed under a tiny transient queue is legitimate;
+				// anything else is a bug.
+				if err != nil && !errors.Is(err, core.ErrOverloaded) {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		for _, s := range servers {
+			s.ConfigureSearch(1+i%4, i%3, (i%2)*64)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", w, err)
+		}
+	}
+	// Quiescent cluster: every permit came home.
+	for _, s := range servers {
+		waitQueued(t, s, 0)
+		if rel, _ := s.admitSearch(); rel == nil {
+			t.Fatal("idle post-race server sheds")
+		} else {
+			rel()
+		}
+	}
+}

@@ -9,10 +9,12 @@
 //
 // Every Server is also a query coordinator: the hdk.search RPC
 // (Client.SearchVia) runs the engine's lattice traversal inside the
-// daemon — against its own membership view, with replica failover, a
-// worker-pool admission bound, and a per-node query-result LRU that
-// every locally served index mutation invalidates — so a thin client
-// pays one RPC per query instead of orchestrating the fan-out itself.
+// daemon — against its own membership view, with replica failover,
+// bounded admission (a saturated daemon sheds excess searches with an
+// explicit retry-after hint instead of queueing them unboundedly), and
+// a per-node query-result LRU that every locally served index mutation
+// invalidates — so a thin client pays one RPC per query instead of
+// orchestrating the fan-out itself.
 //
 // The client fabric is a full-membership, one-hop DHT: every member's
 // ring position is overlay.HashNode(addr) — the same placement as the
@@ -24,9 +26,12 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/overlay"
@@ -337,13 +342,20 @@ func (c *Client) Shutdown(addr string) error {
 	return err
 }
 
-// SearchVia asks the daemon at addr to coordinate one query: the whole
-// lattice traversal — routing, batched fetches, replica failover,
-// result caching — runs node-side, and the thin client pays exactly one
-// RPC. req.Terms must be in Engine.QueryTerms form; the returned bool
-// reports whether the daemon answered from its query-result cache. Any
-// member of the cluster can coordinate any query.
-func (c *Client) SearchVia(addr string, req core.SearchRequest) (*core.SearchResult, bool, error) {
+// Search overload backoff: how many attempts SearchVia makes against a
+// daemon that keeps shedding, and the cap on the exponentially growing
+// backoff window.
+const (
+	searchBackoffAttempts = 5
+	searchBackoffCap      = 2 * time.Second
+)
+
+// TrySearchVia issues exactly ONE hdk.search attempt against the daemon
+// at addr. A daemon shedding under admission control comes back as a
+// *core.OverloadError (errors.Is-matchable against core.ErrOverloaded)
+// carrying its retry-after hint; callers running their own pacing —
+// load generators, saturation probes — use this to see every rejection.
+func (c *Client) TrySearchVia(addr string, req core.SearchRequest) (*core.SearchResult, bool, error) {
 	raw, err := c.CallService(addr, core.SvcSearch, core.EncodeSearchRequest(req))
 	if err != nil {
 		return nil, false, fmt.Errorf("cluster: search via %s: %w", addr, err)
@@ -353,6 +365,40 @@ func (c *Client) SearchVia(addr string, req core.SearchRequest) (*core.SearchRes
 		return nil, false, fmt.Errorf("cluster: search via %s: %w", addr, err)
 	}
 	return res, cached, nil
+}
+
+// SearchVia asks the daemon at addr to coordinate one query: the whole
+// lattice traversal — routing, batched fetches, replica failover,
+// result caching — runs node-side, and the thin client pays exactly one
+// RPC. req.Terms must be in Engine.QueryTerms form; the returned bool
+// reports whether the daemon answered from its query-result cache. Any
+// member of the cluster can coordinate any query.
+//
+// Overload rejections are retried with capped exponential backoff and
+// jitter honoring the daemon's retry-after hint: attempt i sleeps
+// between hint and min(hint<<i, searchBackoffCap). A daemon still
+// shedding after searchBackoffAttempts attempts surfaces the last
+// *core.OverloadError to the caller.
+func (c *Client) SearchVia(addr string, req core.SearchRequest) (*core.SearchResult, bool, error) {
+	for attempt := 0; ; attempt++ {
+		res, cached, err := c.TrySearchVia(addr, req)
+		var ov *core.OverloadError
+		if !errors.As(err, &ov) || attempt == searchBackoffAttempts-1 {
+			return res, cached, err
+		}
+		hi := ov.RetryAfter << attempt
+		if hi > searchBackoffCap {
+			hi = searchBackoffCap
+		}
+		// Full jitter above the hint floor: never earlier than the
+		// daemon asked, spread out so shed clients don't re-arrive as
+		// one thundering herd.
+		sleep := ov.RetryAfter
+		if spread := int64(hi - ov.RetryAfter); spread > 0 {
+			sleep += time.Duration(rand.Int64N(spread + 1))
+		}
+		time.Sleep(sleep)
+	}
 }
 
 // NodeStoreStats pairs a daemon address with its store footprint.

@@ -35,14 +35,23 @@ const durConfigure = "configure"
 const shutdownGrace = 200 * time.Millisecond
 
 // Search coordination defaults: how many hdk.search coordinations one
-// daemon runs concurrently (excess requests queue on the worker pool —
-// admission control for the serving path) and how many query results
-// its LRU holds. Both are operator-tunable via ConfigureSearch
-// (cmd/hdknode: -search-workers, -search-cache).
+// daemon runs concurrently, how many more may wait in the bounded
+// admission queue before the daemon sheds requests with an explicit
+// overload rejection, and how many query results its LRU holds. All
+// operator-tunable via ConfigureSearch (cmd/hdknode: -search-workers,
+// -search-queue, -search-cache).
 const (
 	defaultSearchWorkers = 8
+	defaultSearchQueue   = 32
 	defaultSearchCache   = 1024
 )
+
+// searchRetryAfter is the backoff hint a shed request carries. A shed
+// means workers + queue are all busy; one queue slot frees as soon as a
+// coordination (typically a few ms to tens of ms) completes, so a small
+// constant hint keeps well-behaved clients closely packed behind the
+// queue without hammering it.
+const searchRetryAfter = 25 * time.Millisecond
 
 // Server is the daemon side of the cluster: one process's membership
 // identity plus its share of the replicated index. It implements
@@ -80,7 +89,20 @@ type Server struct {
 	fabric     *Client
 	fabricSelf overlay.Member
 	fabricVer  uint64
-	searchSem  chan struct{}
+
+	// Admission control (guarded by amu): searchQueued counts every
+	// admitted coordination — running (holding a searchSem slot) or
+	// waiting for one. A request is shed when searchQueued would exceed
+	// cap(searchSem)+searchQueueCap, so at most searchQueueCap requests
+	// ever wait and the wait is bounded by queue-depth coordination
+	// times. searchSem itself is swapped by ConfigureSearch; in-flight
+	// releases are closures over the channel they acquired, so a resize
+	// can never strand a permit in the wrong channel.
+	amu            sync.Mutex
+	searchSem      chan struct{}
+	searchQueued   int
+	searchQueueCap int
+	searchRejected atomic.Uint64
 
 	// cmu orders result-cache fills against invalidation: a coordination
 	// records cacheGen before probing and only publishes its result if
@@ -133,6 +155,14 @@ type Info struct {
 	// cache counters.
 	SearchCacheHits   uint64 `json:"search_cache_hits"`
 	SearchCacheMisses uint64 `json:"search_cache_misses"`
+	// SearchRejected counts hdk.search requests shed by admission
+	// control (worker pool and bounded queue both full); each rejection
+	// carried a retry-after hint back to the client.
+	SearchRejected uint64 `json:"search_rejected"`
+	// SearchQueueDepth is the instantaneous number of admitted
+	// coordinations waiting for a worker slot (0 on an idle or
+	// keeping-up daemon; at most the configured -search-queue).
+	SearchQueueDepth int `json:"search_queue_depth"`
 }
 
 // NewServer binds a daemon on the transport (pass "127.0.0.1:0" for an
@@ -144,13 +174,14 @@ func NewServer(tr transport.Transport, listen string, replicas int) (*Server, er
 		replicas = 1
 	}
 	s := &Server{
-		tr:          tr,
-		replicas:    replicas,
-		members:     make(map[string]struct{}),
-		services:    make(map[string]transport.Handler),
-		searchSem:   make(chan struct{}, defaultSearchWorkers),
-		searchCache: cache.NewLRU[[]byte](defaultSearchCache),
-		done:        make(chan struct{}),
+		tr:             tr,
+		replicas:       replicas,
+		members:        make(map[string]struct{}),
+		services:       make(map[string]transport.Handler),
+		searchSem:      make(chan struct{}, defaultSearchWorkers),
+		searchQueueCap: defaultSearchQueue,
+		searchCache:    cache.NewLRU[[]byte](defaultSearchCache),
+		done:           make(chan struct{}),
 	}
 	bound, err := tr.Listen(listen, s.dispatch)
 	if err != nil {
@@ -180,20 +211,55 @@ func (s *Server) Handle(service string, h transport.Handler) {
 func (s *Server) Replicas() int { return s.replicas }
 
 // ConfigureSearch sizes the query-coordination path: workers bounds
-// concurrent hdk.search coordinations (excess requests queue) and
-// cacheCap the query-result LRU. workers < 1 keeps the default;
-// cacheCap 0 disables result caching and cacheCap < 0 keeps the
-// default (mirroring cmd/hdknode's -search-cache flag). Call before
-// the daemon serves search traffic.
-func (s *Server) ConfigureSearch(workers, cacheCap int) {
+// concurrent hdk.search coordinations, queue how many admitted requests
+// may wait for a worker before the daemon sheds with an explicit
+// overload rejection, and cacheCap the query-result LRU. workers < 1
+// keeps the default; queue 0 sheds as soon as every worker is busy and
+// queue < 0 keeps the default; cacheCap 0 disables result caching and
+// cacheCap < 0 keeps the default (mirroring cmd/hdknode's flags).
+//
+// Safe to call while serving: in-flight coordinations release the
+// semaphore they acquired (admitSearch hands out a release closure over
+// the specific channel), so swapping in a new one strands nothing —
+// old holders drain the old channel, new admissions use the new bound.
+func (s *Server) ConfigureSearch(workers, queue, cacheCap int) {
+	s.amu.Lock()
 	if workers >= 1 {
 		s.searchSem = make(chan struct{}, workers)
 	}
+	if queue >= 0 {
+		s.searchQueueCap = queue
+	}
+	s.amu.Unlock()
 	if cacheCap >= 0 {
 		s.cmu.Lock()
 		s.searchCache = cache.NewLRU[[]byte](cacheCap)
 		s.cmu.Unlock()
 	}
+}
+
+// admitSearch decides one hdk.search request's fate: admitted requests
+// get a release closure (run it when the coordination finishes) after a
+// bounded wait for a worker slot; a request that would push the
+// admitted count past workers+queue is shed immediately with the
+// retry-after hint to send back. The closure releases the exact
+// semaphore channel it acquired — see ConfigureSearch.
+func (s *Server) admitSearch() (release func(), retryAfter time.Duration) {
+	s.amu.Lock()
+	sem := s.searchSem
+	if s.searchQueued >= cap(sem)+s.searchQueueCap {
+		s.amu.Unlock()
+		return nil, searchRetryAfter
+	}
+	s.searchQueued++
+	s.amu.Unlock()
+	sem <- struct{}{} // at most searchQueueCap requests wait here
+	return func() {
+		<-sem
+		s.amu.Lock()
+		s.searchQueued--
+		s.amu.Unlock()
+	}, 0
 }
 
 // invalidateSearchCache drops every cached query result and bumps the
@@ -473,6 +539,14 @@ func (s *Server) handleInfo() ([]byte, error) {
 	s.cmu.Lock()
 	info.SearchCacheHits, info.SearchCacheMisses = s.searchCache.Stats()
 	s.cmu.Unlock()
+	info.SearchRejected = s.searchRejected.Load()
+	s.amu.Lock()
+	// Admitted minus running = waiting for a worker slot (clamped: the
+	// two reads are not atomic with respect to releases in flight).
+	if depth := s.searchQueued - len(s.searchSem); depth > 0 {
+		info.SearchQueueDepth = depth
+	}
+	s.amu.Unlock()
 	return json.Marshal(info)
 }
 
@@ -482,7 +556,10 @@ func (s *Server) handleInfo() ([]byte, error) {
 // membership view, with its own store attached locally and every other
 // store reached over the pooled fabric, replica failover included. The
 // raw request bytes are the cache key (the request encoding is
-// canonical); concurrent coordinations are bounded by the worker pool.
+// canonical). Concurrent coordinations are bounded by the worker pool
+// plus a bounded admission queue; past that the request is shed with an
+// explicit overload rejection instead of queueing unboundedly (cache
+// hits bypass admission — they cost no coordination work).
 func (s *Server) handleSearch(req []byte) ([]byte, error) {
 	s.searchRPCs.Add(1)
 	sreq, err := core.DecodeSearchRequest(req)
@@ -506,8 +583,15 @@ func (s *Server) handleSearch(req []byte) ([]byte, error) {
 			return core.EncodeSearchResponse(body, true), nil
 		}
 	}
-	s.searchSem <- struct{}{} // admission: at most cap(searchSem) coordinations
-	defer func() { <-s.searchSem }()
+	release, retryAfter := s.admitSearch()
+	if release == nil {
+		// Shed: workers and queue are full. The rejection is a transport
+		// SUCCESS carrying the retry-after hint — a handler error would
+		// be retried as transient by the RPC layer instead of backed off.
+		s.searchRejected.Add(1)
+		return core.EncodeSearchOverloaded(retryAfter), nil
+	}
+	defer release()
 	fab, self, err := s.coordinationFabric()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# cluster-up.sh — boot a localhost hdknode cluster, run one command
+# against it, tear the daemons down, and propagate the command's exit
+# code. The shared fixture for CI steps that need a real multi-process
+# cluster (coordinator bench, saturation smoke) without each step
+# re-inventing the boot/poll/teardown shell.
+#
+# Usage:
+#   cluster-up.sh BIN BASE_PORT COUNT REPLICAS [NODE_ARGS...] -- CMD [ARGS...]
+#
+#   BIN        hdknode binary
+#   BASE_PORT  node 0 listens on 127.0.0.1:BASE_PORT, node i on BASE_PORT+i
+#              (ring placement derives from the addresses, so benches
+#              comparing against a committed baseline must use its ports)
+#   COUNT      number of daemons
+#   REPLICAS   -replicas passed to every daemon
+#   NODE_ARGS  extra flags appended to every daemon's command line
+#              (e.g. -search-workers 2 -search-queue 2)
+#   CMD        run once every daemon printed its readiness banner
+#
+# Each daemon logs to ./node<port>.log. If a daemon never prints its
+# "hdknode listening" banner, the script prints the tail of the
+# offending log and exits 1 — the log name is the first thing a failed
+# CI run needs. All daemons are killed on exit, whatever the outcome.
+set -u
+
+if [ "$#" -lt 5 ]; then
+    echo "usage: $0 BIN BASE_PORT COUNT REPLICAS [NODE_ARGS...] -- CMD [ARGS...]" >&2
+    exit 2
+fi
+
+BIN=$1
+BASE_PORT=$2
+COUNT=$3
+REPLICAS=$4
+shift 4
+
+NODE_ARGS=()
+while [ "$#" -gt 0 ] && [ "$1" != "--" ]; do
+    NODE_ARGS+=("$1")
+    shift
+done
+if [ "$#" -eq 0 ]; then
+    echo "cluster-up: missing -- CMD" >&2
+    exit 2
+fi
+shift # the --
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# await_banner PORT: poll the daemon's log for the readiness banner
+# (printed only once the daemon is bound AND serving, warm catch-up
+# included); on timeout, show the log tail and fail.
+await_banner() {
+    local port=$1 log="node$1.log"
+    for _ in $(seq 1 150); do
+        if grep -q "hdknode listening" "$log" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "cluster-up: daemon on port $port never printed its banner; tail of $log:" >&2
+    tail -n 40 "$log" >&2 || true
+    return 1
+}
+
+# Node 0 boots alone; every further node joins through it. Sequential
+# boot keeps membership convergence deterministic.
+FIRST_PORT=$BASE_PORT
+"$BIN" -listen "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" \
+    ${NODE_ARGS[@]+"${NODE_ARGS[@]}"} > "node$FIRST_PORT.log" 2>&1 &
+PIDS+=($!)
+await_banner "$FIRST_PORT" || exit 1
+
+i=1
+while [ "$i" -lt "$COUNT" ]; do
+    port=$((BASE_PORT + i))
+    "$BIN" -listen "127.0.0.1:$port" -join "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" \
+        ${NODE_ARGS[@]+"${NODE_ARGS[@]}"} > "node$port.log" 2>&1 &
+    PIDS+=($!)
+    await_banner "$port" || exit 1
+    i=$((i + 1))
+done
+
+"$@"
