@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// startHTTP binds the daemon's observability endpoint and serves it in
+// the background: /metrics is the Prometheus text exposition of the
+// daemon's telemetry registry, /healthz answers 200 once the daemon is
+// ready (it is only started after recovery, join and catch-up — the
+// readiness scripts poll it), and the standard net/http/pprof handlers
+// are mounted explicitly on this mux (the daemon never touches
+// http.DefaultServeMux). Returns the bound address, so -http with port
+// 0 works like -listen does.
+func startHTTP(addr string, reg *telemetry.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("http listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// buildInfo summarizes how this binary was built from the metadata the
+// Go linker embeds: the toolchain version and, when built inside a
+// version-controlled checkout, the revision (with a "+dirty" marker for
+// uncommitted changes). Everything degrades to "unknown" on a binary
+// built without that metadata (e.g. go test binaries).
+func buildInfo() (goVersion, revision string) {
+	goVersion, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		revision = rev + modified
+	}
+	return
+}
+
+// registerBuildInfo publishes the build identity as the conventional
+// constant gauge: hdk_build_info{go_version=...,revision=...} 1. Scrapes
+// from mixed-version clusters group by it to see which daemons run what.
+func registerBuildInfo(reg *telemetry.Registry, goVersion, revision string) {
+	reg.Gauge("hdk_build_info",
+		telemetry.L("go_version", goVersion),
+		telemetry.L("revision", revision)).Set(1)
+}

@@ -63,15 +63,17 @@ func main() {
 	searchWorkers := flag.Int("search-workers", 0, "concurrent hdk.search coordinations this daemon runs (0: default 8)")
 	searchQueue := flag.Int("search-queue", -1, "hdk.search requests allowed to wait for a worker before the daemon sheds with an overload rejection (-1: default 32, 0: shed when all workers busy)")
 	searchCache := flag.Int("search-cache", -1, "query-result cache entries (-1: default 1024, 0: disable result caching)")
+	httpAddr := flag.String("http", "", "host:port for the observability endpoint (/metrics, /healthz, /debug/pprof); empty: disabled, port 0 binds an ephemeral port")
+	slowQuery := flag.Duration("slow-query", 0, "log coordinations slower than this to stderr, rate-limited to one line/s (0: disabled)")
 	flag.Parse()
 
-	if err := run(*listen, *join, *replicas, *callTimeout, *dataDir, *fsync, *compactBytes, *searchWorkers, *searchQueue, *searchCache); err != nil {
+	if err := run(*listen, *join, *replicas, *callTimeout, *dataDir, *fsync, *compactBytes, *searchWorkers, *searchQueue, *searchCache, *httpAddr, *slowQuery); err != nil {
 		fmt.Fprintln(os.Stderr, "hdknode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, fsync string, compactBytes int64, searchWorkers, searchQueue, searchCache int) error {
+func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, fsync string, compactBytes int64, searchWorkers, searchQueue, searchCache int, httpAddr string, slowQuery time.Duration) error {
 	var dur *durable.Store
 	if dataDir != "" {
 		policy, err := durable.ParsePolicy(fsync)
@@ -89,6 +91,17 @@ func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, 
 		return err
 	}
 	srv.ConfigureSearch(searchWorkers, searchQueue, searchCache)
+	srv.SetSlowQueryLog(slowQuery)
+	// One registry per daemon: the server pre-registers the serving-path
+	// instruments; the transport and durable store record onto the same
+	// registry so cluster.metrics and /metrics export every layer.
+	reg := srv.Metrics()
+	tr.Instrument(reg)
+	if dur != nil {
+		dur.Instrument(reg)
+	}
+	goVersion, revision := buildInfo()
+	registerBuildInfo(reg, goVersion, revision)
 	if dur != nil {
 		// Replay snapshot + op log BEFORE joining: a warm daemon
 		// announces itself already holding its restored key inventory.
@@ -122,11 +135,27 @@ func run(listen, join string, replicas int, callTimeout time.Duration, dataDir, 
 		}
 	}
 
+	// The observability endpoint comes up only now — after recovery, join
+	// and catch-up — so a 200 from /healthz means the daemon is actually
+	// ready, not merely bound (the readiness scripts poll it).
+	if httpAddr != "" {
+		bound, err := startHTTP(httpAddr, reg)
+		if err != nil {
+			tr.Close()
+			return err
+		}
+		// Machine-parsed like the listening banner below (the harness
+		// reads both); printed first so a reader of the banner already
+		// knows the scrape address.
+		fmt.Printf("hdknode http on %s\n", bound)
+	}
+
 	// The banner goes to stdout (machine-parsed); everything else to
 	// stderr.
 	fmt.Printf("hdknode listening on %s\n", srv.Addr())
 	os.Stdout.Sync()
-	fmt.Fprintf(os.Stderr, "hdknode %s: serving (replicas=%d, join=%q, data=%q)\n", srv.Addr(), replicas, join, dataDir)
+	fmt.Fprintf(os.Stderr, "hdknode %s: serving (replicas=%d, join=%q, data=%q, go=%s, build=%s)\n",
+		srv.Addr(), replicas, join, dataDir, goVersion, revision)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

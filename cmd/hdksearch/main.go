@@ -6,7 +6,7 @@
 // Usage:
 //
 //	hdksearch [-docs N] [-peers N] [-dfmax N] [-topk N] [-fanout N] [-replicas R]
-//	hdksearch -connect HOST:PORT [-coordinator] [-forget HOST:PORT] [-docs N] ...
+//	hdksearch -connect HOST:PORT [-coordinator [-trace]] [-forget HOST:PORT] [-docs N] ...
 //
 // By default the peer network is simulated in-process. With -connect the
 // shell becomes the thin client of a REAL cluster: it discovers the
@@ -39,6 +39,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/overlay"
 	"repro/internal/rank"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/transport/cluster"
 )
@@ -52,6 +53,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "R-way key replication factor (searches fail over between replicas)")
 	connect := flag.String("connect", "", "address of any hdknode daemon: build and query a running multi-process cluster")
 	coordinator := flag.Bool("coordinator", false, "with -connect: send each query as ONE hdk.search RPC and let the daemon coordinate the traversal")
+	trace := flag.Bool("trace", false, "with -coordinator: ask the daemon for a per-query span tree (admission, cache, per-level fetch waves) and print it under each answer")
 	forget := flag.String("forget", "", "with -connect: drop this dead member's address from the cluster membership before building")
 	flag.Parse()
 	replicasSet := false
@@ -61,18 +63,21 @@ func main() {
 		}
 	})
 
-	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas, *connect, *forget, *coordinator, replicasSet); err != nil {
+	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas, *connect, *forget, *coordinator, *trace, replicasSet); err != nil {
 		fmt.Fprintln(os.Stderr, "hdksearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string, coordinator, replicasSet bool) error {
+func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string, coordinator, trace, replicasSet bool) error {
 	if forget != "" && connect == "" {
 		return fmt.Errorf("-forget requires -connect (it edits a live cluster's membership)")
 	}
 	if coordinator && connect == "" {
 		return fmt.Errorf("-coordinator requires -connect (daemons coordinate, the in-process engine queries directly)")
+	}
+	if trace && !coordinator {
+		return fmt.Errorf("-trace requires -coordinator (the span tree is recorded by the coordinating daemon)")
 	}
 	p := corpus.DefaultGenParams(docs)
 	p.AvgDocLen = 80
@@ -190,14 +195,23 @@ func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string,
 			continue
 		}
 		var res *core.SearchResult
+		var span *telemetry.Trace
 		cost := ""
 		if coordinator {
 			// One RPC: the daemon behind -connect coordinates the whole
 			// traversal and may answer straight from its result cache.
-			var cached bool
-			res, cached, err = clu.SearchVia(connect, core.SearchRequest{Terms: eng.QueryTerms(q), K: topk})
-			if cached {
-				cost = " [coordinator cache]"
+			req := core.SearchRequest{Terms: eng.QueryTerms(q), K: topk}
+			if trace {
+				res, span, err = clu.SearchTraceVia(connect, req)
+				if err == nil && span == nil {
+					cost = " [coordinator cache]"
+				}
+			} else {
+				var cached bool
+				res, cached, err = clu.SearchVia(connect, req)
+				if cached {
+					cost = " [coordinator cache]"
+				}
 			}
 		} else {
 			res, err = eng.Search(q, origin, topk)
@@ -209,6 +223,9 @@ func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string,
 			len(res.Results), res.ProbedKeys, res.FoundKeys, res.FetchedPosts, res.RPCs, res.Rounds, cost)
 		for i, r := range res.Results {
 			fmt.Printf("%2d. doc %-6d score %.3f\n", i+1, r.Doc, r.Score)
+		}
+		if span != nil {
+			fmt.Print(span.Format())
 		}
 	}
 	return sc.Err()

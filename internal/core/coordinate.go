@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/corpus"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/postings"
 	"repro/internal/rank"
 	"repro/internal/replica"
+	"repro/internal/telemetry"
 )
 
 // This file hosts the query coordination path as a standalone unit: the
@@ -34,12 +37,16 @@ import (
 // fetch responses across queries (the Engine's query-side cache; the
 // cluster daemon instead caches whole results one layer up). Traffic,
 // when non-nil, receives the global counters.
+// Metrics, when non-nil, additionally receives the registry series the
+// live cluster is observed through: per-level probe/RPC/posting
+// counters and per-level latency histograms.
 type Coordinator struct {
 	Net     overlay.Fabric
 	Cfg     Config
 	From    overlay.Member // origin member for Route calls; may be nil on one-hop fabrics
 	Cache   *cache.LRU[cachedFetch]
 	Traffic *Traffic
+	Metrics *telemetry.Registry
 }
 
 // Search maps pre-rendered query terms onto the lattice of their
@@ -50,6 +57,14 @@ type Coordinator struct {
 // enumeration and therefore score accumulation, so a coordinator fed
 // the same terms returns bit-identical results to the client engine.
 func (c *Coordinator) Search(terms []string, k int) (*SearchResult, error) {
+	return c.SearchTraced(terms, k, nil)
+}
+
+// SearchTraced is Search with an optional trace: when tb is non-nil the
+// traversal records a span per level, per fetch wave and per owner RPC
+// under tb's root (the caller owns the root span and calls Finish).
+// A nil tb costs nothing on the traversal path.
+func (c *Coordinator) SearchTraced(terms []string, k int, tb *telemetry.TraceBuilder) (*SearchResult, error) {
 	traffic := c.Traffic
 	if traffic == nil {
 		traffic = &Traffic{}
@@ -61,6 +76,8 @@ func (c *Coordinator) Search(terms []string, k int) (*SearchResult, error) {
 		fanout:   fanoutOf(c.Cfg),
 		cache:    c.Cache,
 		traffic:  traffic,
+		reg:      c.Metrics,
+		trace:    tb,
 	}
 	maxSize := c.Cfg.SMax
 	if len(terms) < maxSize {
@@ -110,6 +127,8 @@ type latticeSearch struct {
 	fanout   int
 	cache    *cache.LRU[cachedFetch]
 	traffic  *Traffic
+	reg      *telemetry.Registry     // nil: no per-level registry series
+	trace    *telemetry.TraceBuilder // nil: tracing off (nil-safe methods)
 }
 
 // run traverses the lattice of term subsets level-synchronously: each
@@ -140,7 +159,14 @@ func (ls *latticeSearch) run(terms []string, maxSize, k int) (*SearchResult, err
 		}
 		res.Rounds++
 		rpcsBefore := res.RPCs
-		outcomes, err := ls.probeLevel(level, res)
+		failBefore := res.Failovers
+		postsBefore := res.FetchedPosts
+		foundBefore := res.FoundKeys
+		levelStart := time.Now()
+		lvlSpan := ls.trace.Start(0, "level",
+			telemetry.Num("level", uint64(size)),
+			telemetry.Num("candidates", uint64(len(level))))
+		outcomes, err := ls.probeLevel(level, res, lvlSpan)
 		if err != nil {
 			return nil, err
 		}
@@ -149,6 +175,7 @@ func (ls *latticeSearch) run(terms []string, maxSize, k int) (*SearchResult, err
 		// Accumulate in candidate-enumeration order: float score addition
 		// is order-sensitive, so this keeps parallel fan-out bit-identical
 		// to a serial probe sequence.
+		unionSpan := ls.trace.Start(lvlSpan, "union")
 		for _, o := range outcomes {
 			res.ProbedKeys++
 			status[o.canonical] = o.status
@@ -165,13 +192,33 @@ func (ls *latticeSearch) run(terms []string, maxSize, k int) (*SearchResult, err
 			spare = postings.UnionInto(spare, acc, o.list)
 			acc, spare = spare, acc
 		}
+		ls.trace.End(unionSpan)
+		ls.trace.Annotate(lvlSpan,
+			telemetry.Num("rpcs", uint64(res.RPCs-rpcsBefore)),
+			telemetry.Num("failovers", uint64(res.Failovers-failBefore)),
+			telemetry.Num("found", uint64(res.FoundKeys-foundBefore)),
+			telemetry.Num("postings", res.FetchedPosts-postsBefore))
+		ls.trace.End(lvlSpan)
+		if ls.reg != nil {
+			lvl := telemetry.L("level", strconv.Itoa(size))
+			ls.reg.Counter("hdk_query_probes_total", lvl).Add(uint64(len(outcomes)))
+			ls.reg.Counter("hdk_query_fetch_rpcs_total", lvl).Add(uint64(res.RPCs - rpcsBefore))
+			ls.reg.Counter("hdk_query_postings_total", lvl).Add(res.FetchedPosts - postsBefore)
+			ls.reg.Histogram("hdk_query_level_nanoseconds", lvl).ObserveDuration(time.Since(levelStart))
+		}
 	}
 	ls.traffic.FetchedPosts.Add(res.FetchedPosts)
 	ls.traffic.ProbeMessages.Add(uint64(res.ProbedKeys))
 	ls.traffic.FetchRPCs.Add(uint64(res.RPCs))
 	ls.traffic.QueryRounds.Add(uint64(res.Rounds))
 	ls.traffic.SearchFailovers.Add(uint64(res.Failovers))
+	if ls.reg != nil && res.Failovers > 0 {
+		ls.reg.Counter("hdk_query_failovers_total").Add(uint64(res.Failovers))
+	}
+	rankSpan := ls.trace.Start(0, "rank", telemetry.Num("k", uint64(k)))
 	res.Results = rank.TopKByScore(acc, k)
+	ls.trace.Annotate(rankSpan, telemetry.Num("results", uint64(len(res.Results))))
+	ls.trace.End(rankSpan)
 	return res, nil
 }
 
@@ -291,7 +338,7 @@ func replicaChain(net overlay.Fabric, r int, routedAddr, canonical string) []str
 // one Failover. Workers fill disjoint outcome slots; the slice comes back
 // in candidate order so accumulation stays deterministic regardless of
 // which replica answered.
-func (ls *latticeSearch) probeLevel(level []string, res *SearchResult) ([]probeOutcome, error) {
+func (ls *latticeSearch) probeLevel(level []string, res *SearchResult, lvlSpan int) ([]probeOutcome, error) {
 	outcomes := make([]probeOutcome, len(level))
 	var pending []int // outcome slots needing a network fetch
 	for i, canonical := range level {
@@ -315,6 +362,7 @@ func (ls *latticeSearch) probeLevel(level []string, res *SearchResult) ([]probeO
 	// concurrently, and its full replica set for failover. Routing
 	// errors are themselves failed over to the placement ground truth:
 	// the resolver knows the owners without a network walk.
+	routeSpan := ls.trace.Start(lvlSpan, "route", telemetry.Num("keys", uint64(len(pending))))
 	states := make([]probeState, len(pending))
 	routeErrs := make([]error, len(pending))
 	forEachLimit(len(pending), fanout, func(j int) {
@@ -331,6 +379,7 @@ func (ls *latticeSearch) probeLevel(level []string, res *SearchResult) ([]probeO
 		}
 		states[j] = probeState{idx: pending[j], owners: chain}
 	})
+	ls.trace.End(routeSpan)
 	for _, err := range routeErrs {
 		if err != nil {
 			return nil, err
@@ -360,7 +409,15 @@ func (ls *latticeSearch) probeLevel(level []string, res *SearchResult) ([]probeO
 			for i, st := range batch {
 				idxs[i] = st.idx
 			}
+			fetchSpan := ls.trace.Start(lvlSpan, "fetch",
+				telemetry.Str("owner", addrs[j]),
+				telemetry.Num("keys", uint64(len(idxs))),
+				telemetry.Num("wave", uint64(wave)))
 			fetchErrs[j] = ls.fetchOwnerBatch(addrs[j], idxs, outcomes)
+			if fetchErrs[j] != nil {
+				ls.trace.Annotate(fetchSpan, telemetry.Str("error", fetchErrs[j].Error()))
+			}
+			ls.trace.End(fetchSpan)
 		})
 		res.RPCs += len(addrs)
 		if wave > 0 {

@@ -37,10 +37,20 @@ type SearchRequest struct {
 	// lookup and fill) — for load tests that must exercise the fetch
 	// path, and for verifying failover behind a warm cache.
 	NoCache bool
+	// Trace asks the coordinator to record a per-query span tree
+	// (admission wait, per-level fetch waves, per-owner RPC timing) and
+	// return it alongside the answer. Cache hits skip coordination, so
+	// a traced request answered from cache carries no trace.
+	Trace bool
 }
 
-// searchReqFlagNoCache is the options bit carried by the request.
-const searchReqFlagNoCache = 1 << 0
+// Request option bits.
+const (
+	searchReqFlagNoCache = 1 << 0
+	searchReqFlagTrace   = 1 << 1
+
+	searchReqFlagsKnown = searchReqFlagNoCache | searchReqFlagTrace
+)
 
 // maxSearchK bounds the requested answer size a coordinator accepts —
 // far above any real top-k, low enough that a corrupt varint cannot ask
@@ -54,6 +64,9 @@ func EncodeSearchRequest(req SearchRequest) []byte {
 	var flags uint64
 	if req.NoCache {
 		flags |= searchReqFlagNoCache
+	}
+	if req.Trace {
+		flags |= searchReqFlagTrace
 	}
 	size := postings.UvarintSize(uint64(req.K)) + postings.UvarintSize(flags) +
 		postings.KeyListSize(req.Terms)
@@ -71,7 +84,7 @@ func DecodeSearchRequest(payload []byte) (SearchRequest, error) {
 	}
 	off := n
 	flags, n := binary.Uvarint(payload[off:])
-	if n <= 0 || flags&^uint64(searchReqFlagNoCache) != 0 {
+	if n <= 0 || flags&^uint64(searchReqFlagsKnown) != 0 {
 		return req, errCorruptRPC
 	}
 	off += n
@@ -82,6 +95,7 @@ func DecodeSearchRequest(payload []byte) (SearchRequest, error) {
 	req.Terms = terms
 	req.K = int(k)
 	req.NoCache = flags&searchReqFlagNoCache != 0
+	req.Trace = flags&searchReqFlagTrace != 0
 	return req, nil
 }
 
@@ -157,11 +171,14 @@ func DecodeSearchResult(body []byte) (*SearchResult, error) {
 
 // Response frame flags: byte 0 of every hdk.search response. 0 is a
 // freshly coordinated answer, 1 a cache hit, 2 an overload rejection
-// (admission control shed the request; the body is a retry-after hint).
+// (admission control shed the request; the body is a retry-after hint),
+// 3 a freshly coordinated answer followed by its trace (a uvarint body
+// length, the body, then the telemetry trace bytes).
 const (
 	searchRespFresh      = 0
 	searchRespCached     = 1
 	searchRespOverloaded = 2
+	searchRespTraced     = 3
 )
 
 // maxRetryAfterMS bounds the wire-carried retry-after hint — far above
@@ -218,6 +235,17 @@ func EncodeSearchResponse(body []byte, cached bool) []byte {
 	return append(append(out, flag), body...)
 }
 
+// EncodeSearchResponseTraced frames a freshly coordinated answer with
+// its trace appended: the body is length-prefixed so the trace bytes
+// (telemetry.EncodeTrace output) ride behind it in the same response.
+func EncodeSearchResponseTraced(body, trace []byte) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+len(body)+len(trace))
+	out = append(out, searchRespTraced)
+	out = binary.AppendUvarint(out, uint64(len(body)))
+	out = append(out, body...)
+	return append(out, trace...)
+}
+
 // DecodeSearchResponse parses a framed hdk.search response into the
 // answer and whether the coordinator served it from its result cache.
 // A cached response carries the metrics recorded when the answer was
@@ -226,19 +254,43 @@ func EncodeSearchResponse(body []byte, cached bool) []byte {
 // (errors.Is-matchable against ErrOverloaded) carrying the daemon's
 // retry-after hint.
 func DecodeSearchResponse(resp []byte) (*SearchResult, bool, error) {
-	if len(resp) == 0 || resp[0] > searchRespOverloaded {
-		return nil, false, errCorruptRPC
+	res, cached, _, err := DecodeSearchResponseTrace(resp)
+	return res, cached, err
+}
+
+// DecodeSearchResponseTrace is DecodeSearchResponse exposing the raw
+// trace bytes a traced frame carries (nil on untraced frames; decode
+// with telemetry.DecodeTrace).
+func DecodeSearchResponseTrace(resp []byte) (*SearchResult, bool, []byte, error) {
+	if len(resp) == 0 || resp[0] > searchRespTraced {
+		return nil, false, nil, errCorruptRPC
 	}
-	if resp[0] == searchRespOverloaded {
+	switch resp[0] {
+	case searchRespOverloaded:
 		ms, n := binary.Uvarint(resp[1:])
 		if n <= 0 || 1+n != len(resp) || ms < 1 || ms > maxRetryAfterMS {
-			return nil, false, errCorruptRPC
+			return nil, false, nil, errCorruptRPC
 		}
-		return nil, false, &OverloadError{RetryAfter: time.Duration(ms) * time.Millisecond}
+		return nil, false, nil, &OverloadError{RetryAfter: time.Duration(ms) * time.Millisecond}
+	case searchRespTraced:
+		bodyLen, n := binary.Uvarint(resp[1:])
+		if n <= 0 || bodyLen > uint64(len(resp)-1-n) {
+			return nil, false, nil, errCorruptRPC
+		}
+		body := resp[1+n : 1+n+int(bodyLen)]
+		trace := resp[1+n+int(bodyLen):]
+		if len(trace) == 0 {
+			return nil, false, nil, errCorruptRPC
+		}
+		res, err := DecodeSearchResult(body)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		return res, false, trace, nil
 	}
 	res, err := DecodeSearchResult(resp[1:])
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
-	return res, resp[0] == searchRespCached, nil
+	return res, resp[0] == searchRespCached, nil, nil
 }

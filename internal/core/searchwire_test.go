@@ -11,6 +11,7 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/postings"
 	"repro/internal/rank"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -19,6 +20,8 @@ func TestSearchRequestRoundTrip(t *testing.T) {
 		{Terms: nil, K: 0},
 		{Terms: []string{"alpha"}, K: 10},
 		{Terms: []string{"alpha", "beta", "a\x1fcompound"}, K: 20, NoCache: true},
+		{Terms: []string{"alpha", "beta"}, K: 5, Trace: true},
+		{Terms: []string{"alpha"}, K: 3, NoCache: true, Trace: true},
 		{Terms: []string{""}, K: 1 << 19},
 	}
 	for _, in := range cases {
@@ -27,7 +30,7 @@ func TestSearchRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%+v: %v", in, err)
 		}
-		if out.K != in.K || out.NoCache != in.NoCache || len(out.Terms) != len(in.Terms) {
+		if out.K != in.K || out.NoCache != in.NoCache || out.Trace != in.Trace || len(out.Terms) != len(in.Terms) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
 		}
 		for i := range in.Terms {
@@ -57,7 +60,7 @@ func TestSearchRequestCorrupt(t *testing.T) {
 	cases := map[string][]byte{
 		"empty input":      {},
 		"huge k":           {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
-		"unknown flag bit": {10, 0x02, 0},
+		"unknown flag bit": {10, 0x04, 0},
 		"truncated terms":  valid[:len(valid)-2],
 	}
 	for name, buf := range cases {
@@ -134,6 +137,54 @@ func TestSearchResponseCorrupt(t *testing.T) {
 		if _, _, err := DecodeSearchResponse(buf); !errors.Is(err, errCorruptRPC) {
 			t.Errorf("%s: got %v, want errCorruptRPC", name, err)
 		}
+	}
+}
+
+// TestSearchResponseTracedRoundTrip pins the traced response frame:
+// the answer decodes bit-identically to an untraced frame and the trace
+// bytes ride behind the length-prefixed body; truncations are corrupt.
+func TestSearchResponseTracedRoundTrip(t *testing.T) {
+	in := &SearchResult{
+		Results:      []rank.Result{{Doc: 3, Score: 1.5}, {Doc: 9, Score: 2.25}},
+		FetchedPosts: 42, ProbedKeys: 3, FoundKeys: 2, RPCs: 2, Rounds: 2,
+	}
+	tb := telemetry.StartTrace("coordinate", telemetry.Num("k", 2))
+	lvl := tb.Start(0, "level", telemetry.Num("level", 1))
+	tb.End(lvl)
+	traceBytes := telemetry.EncodeTrace(tb.Finish())
+
+	resp := EncodeSearchResponseTraced(EncodeSearchResult(in), traceBytes)
+	out, cached, gotTrace, err := DecodeSearchResponseTrace(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("traced frame decoded as cached")
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+	tr, err := telemetry.DecodeTrace(gotTrace)
+	if err != nil {
+		t.Fatalf("trace bytes corrupt after frame round trip: %v", err)
+	}
+	if len(tr.Spans) != 2 || tr.Spans[0].Name != "coordinate" {
+		t.Fatalf("trace mangled: %+v", tr.Spans)
+	}
+	// The plain decoder must accept the traced frame too (trace ignored).
+	if out2, _, err := DecodeSearchResponse(resp); err != nil || !reflect.DeepEqual(in, out2) {
+		t.Fatalf("plain decode of traced frame: %+v, %v", out2, err)
+	}
+	// Untraced frames surface nil trace bytes.
+	if _, _, tb2, err := DecodeSearchResponseTrace(EncodeSearchResponse(EncodeSearchResult(in), false)); err != nil || tb2 != nil {
+		t.Fatalf("untraced frame: trace=%v err=%v", tb2, err)
+	}
+	// A traced frame with no trace bytes is corrupt.
+	if _, _, _, err := DecodeSearchResponseTrace(EncodeSearchResponseTraced(EncodeSearchResult(in), nil)); !errors.Is(err, errCorruptRPC) {
+		t.Fatalf("empty trace accepted: %v", err)
+	}
+	for cut := 0; cut < len(resp); cut++ {
+		DecodeSearchResponseTrace(resp[:cut]) // must not panic
 	}
 }
 

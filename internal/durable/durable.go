@@ -34,6 +34,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Policy selects when appended log records are fsynced to stable storage.
@@ -143,6 +145,10 @@ type Store struct {
 	snapRecs  []Record
 	opRecs    []Record
 	truncated int // torn log records dropped during recovery
+
+	// metrics is swapped in by Instrument (see metrics.go); nil until
+	// then, so every observation hook is a single pointer load.
+	metrics atomic.Pointer[storeMetrics]
 }
 
 // Open loads (or initializes) the data directory: it picks the highest
@@ -348,10 +354,13 @@ func (s *Store) Append(kind string, payload []byte) error {
 		return fmt.Errorf("durable: append %q: %w", kind, err)
 	}
 	s.logBytes += int64(len(buf))
+	s.observeAppend(len(buf))
 	if s.opt.Fsync == SyncAlways {
+		start := time.Now()
 		if err := s.log.Sync(); err != nil {
 			return fmt.Errorf("durable: sync: %w", err)
 		}
+		s.observeFsync(time.Since(start))
 	}
 	return nil
 }
@@ -429,6 +438,7 @@ func (s *Store) Compact(write func(emit func(kind string, payload []byte) error)
 	os.Remove(s.snapshotPath(oldGen))
 	os.Remove(s.oplogPath(oldGen))
 	syncDir(s.dir)
+	s.observeCompaction()
 	return nil
 }
 
@@ -439,7 +449,12 @@ func (s *Store) Sync() error {
 	if s.closed || s.opt.Fsync == SyncNever {
 		return nil
 	}
-	return s.log.Sync()
+	start := time.Now()
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	s.observeFsync(time.Since(start))
+	return nil
 }
 
 // Close syncs (under SyncAlways/SyncBatch) and closes the log.

@@ -1,0 +1,62 @@
+package durable
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// storeMetrics is the registry view of the durability path: append and
+// compaction counters plus the fsync latency histogram — the one number
+// that decides whether SyncAlways is affordable on a given disk. The
+// struct is swapped in atomically by Instrument, so an uninstrumented
+// store (unit tests, tooling) pays one nil pointer load per hook.
+type storeMetrics struct {
+	appends     *telemetry.Counter
+	appendBytes *telemetry.Counter
+	compactions *telemetry.Counter
+	fsyncLat    *telemetry.Histogram
+}
+
+// Instrument registers the store's metrics on reg and starts recording
+// into them: per-record append counters, compaction runs, fsync latency,
+// and callback gauges for the live op-log size and snapshot generation.
+// Safe to call while the store is serving; operations observed before
+// Instrument are simply not recorded.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	m := &storeMetrics{
+		appends:     reg.Counter("hdk_durable_appends_total"),
+		appendBytes: reg.Counter("hdk_durable_append_bytes_total"),
+		compactions: reg.Counter("hdk_durable_compactions_total"),
+		fsyncLat:    reg.Histogram("hdk_durable_fsync_nanoseconds"),
+	}
+	reg.GaugeFunc("hdk_durable_log_bytes", func() float64 {
+		return float64(s.LogBytes())
+	})
+	reg.GaugeFunc("hdk_durable_generation", func() float64 {
+		return float64(s.Generation())
+	})
+	s.metrics.Store(m)
+}
+
+// observeAppend records one logged op record of n bytes.
+func (s *Store) observeAppend(n int) {
+	if m := s.metrics.Load(); m != nil {
+		m.appends.Inc()
+		m.appendBytes.Add(uint64(n))
+	}
+}
+
+// observeFsync records one physical log fsync and its latency.
+func (s *Store) observeFsync(d time.Duration) {
+	if m := s.metrics.Load(); m != nil {
+		m.fsyncLat.ObserveDuration(d)
+	}
+}
+
+// observeCompaction records one completed log compaction.
+func (s *Store) observeCompaction() {
+	if m := s.metrics.Load(); m != nil {
+		m.compactions.Inc()
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/transport/cluster"
 )
@@ -68,6 +69,16 @@ type CoordReport struct {
 	ThroughputQPS   float64 `json:"throughput_qps"`
 	LatencyP50Nanos int64   `json:"latency_p50_nanos"`
 	LatencyP99Nanos int64   `json:"latency_p99_nanos"`
+
+	// Server-side latency: every daemon's own coordination-latency
+	// histogram (hdk_search_coordination_nanoseconds via the
+	// cluster.metrics RPC) merged bucket-exactly across the cluster.
+	// Unlike the client-side loop percentiles above, these cover ONLY
+	// fresh coordination work — cache hits, shed requests and client RTT
+	// excluded — so the client/server gap is the cache + network share.
+	ServerCoordinations uint64 `json:"server_coordinations,omitempty"`
+	ServerCoordP50Nanos int64  `json:"server_coord_p50_nanos,omitempty"`
+	ServerCoordP99Nanos int64  `json:"server_coord_p99_nanos,omitempty"`
 }
 
 // CoordBench builds the scale's collection over the live cluster behind
@@ -187,7 +198,35 @@ func CoordBench(tr transport.Transport, seed string, scale Scale, replicas, clie
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	rep.LatencyP50Nanos = latencies[total/2]
 	rep.LatencyP99Nanos = latencies[total*99/100]
+
+	// The daemons' own view of the same run, merged cluster-wide.
+	if merged, err := clusterCoordHistogram(tr, addrs); err != nil {
+		progress("coord: server-side histograms unavailable: %v", err)
+	} else if merged.Count > 0 {
+		rep.ServerCoordinations = merged.Count
+		rep.ServerCoordP50Nanos = int64(merged.Quantile(0.50))
+		rep.ServerCoordP99Nanos = int64(merged.Quantile(0.99))
+		progress("coord: server-side p50 %.2fms p99 %.2fms over %d coordinations",
+			float64(rep.ServerCoordP50Nanos)/1e6, float64(rep.ServerCoordP99Nanos)/1e6, merged.Count)
+	}
 	return rep, nil
+}
+
+// clusterCoordHistogram pulls every daemon's telemetry snapshot and
+// merges the coordination-latency histograms into one cluster-wide
+// distribution (the shared bucket grid makes the merge exact).
+func clusterCoordHistogram(tr transport.Transport, addrs []string) (telemetry.HistogramValue, error) {
+	var merged telemetry.HistogramValue
+	for _, addr := range addrs {
+		snap, err := cluster.FetchMetrics(tr, addr)
+		if err != nil {
+			return telemetry.HistogramValue{}, fmt.Errorf("experiments: metrics from %s: %w", addr, err)
+		}
+		if h, ok := snap.Histogram("hdk_search_coordination_nanoseconds"); ok {
+			merged = merged.Merge(h)
+		}
+	}
+	return merged, nil
 }
 
 // clusterFetchMeter sums the daemons' served hdk.fetchBatch counters.

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram buckets values on a log-linear grid: each power-of-two
+// octave is split into histSubCount linear sub-buckets, so bucket width
+// is at most 1/histSubCount of the value — every recorded value is
+// representable to within 12.5% relative error, and quantiles inherit
+// that bound. The grid is fixed (no per-histogram configuration), so
+// histograms from different nodes merge by bucket-wise addition and the
+// merge is associative and commutative — hdkbench can fold the
+// coordination-latency histograms of five daemons into one cluster-wide
+// p99. The scheme is the HDR-histogram idea reduced to its atomic core:
+// 496 uint64 buckets cover [0, 2^64) in ~4KB.
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits // linear sub-buckets per octave
+	// Octaves 0..histSubBits-1 collapse into the first histSubCount
+	// exact buckets; each of the remaining 64-histSubBits octaves
+	// contributes histSubCount buckets.
+	histNumBuckets = (64-histSubBits)*histSubCount + histSubCount
+)
+
+// bucketIndex maps a value to its bucket. Values below histSubCount get
+// exact unit-width buckets; larger values index by exponent and the
+// histSubBits bits below the leading bit.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the leading bit, >= histSubBits
+	sub := (v >> (uint(exp) - histSubBits)) & (histSubCount - 1)
+	return (exp-histSubBits)*histSubCount + int(sub) + histSubCount
+}
+
+// bucketUpper returns the largest value the bucket holds — the
+// conservative representative used for quantiles (a reported pXX is
+// >= the true pXX, by at most the bucket width).
+func bucketUpper(idx int) uint64 {
+	if idx < histSubCount {
+		return uint64(idx)
+	}
+	shift := uint(idx-histSubCount) / histSubCount
+	sub := uint64(idx-histSubCount) % histSubCount
+	lower := (histSubCount + sub) << shift
+	return lower + (uint64(1) << shift) - 1
+}
+
+// Histogram is a fixed-grid log-linear latency histogram. Observe is
+// two atomic adds plus an atomic increment; there is no lock anywhere.
+// Values are dimensionless uint64s — by convention the registry's
+// *_nanoseconds histograms record time.Duration nanoseconds.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histNumBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds; negative durations
+// clamp to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// BucketCount is one non-empty bucket in a histogram snapshot.
+type BucketCount struct {
+	Index int
+	Count uint64
+}
+
+// HistogramValue is a snapshot of one histogram series: sparse
+// non-empty buckets plus the observation count and value sum. Count is
+// recomputed from the bucket reads so quantile extraction is internally
+// consistent even while the histogram is being written.
+type HistogramValue struct {
+	Name    string
+	Labels  []Label
+	Count   uint64
+	Sum     uint64
+	Buckets []BucketCount
+}
+
+// Snapshot captures the histogram's current buckets (name and labels
+// are filled in by the registry).
+func (h *Histogram) Snapshot() HistogramValue {
+	var hv HistogramValue
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			hv.Buckets = append(hv.Buckets, BucketCount{Index: i, Count: n})
+			hv.Count += n
+		}
+	}
+	hv.Sum = h.sum.Load()
+	return hv
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound
+// of the bucket containing the q-th ranked observation, within 12.5%
+// relative error of the exact order statistic. An empty histogram
+// reports 0.
+func (hv HistogramValue) Quantile(q float64) uint64 {
+	if hv.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the smallest rank r with cumulative count >= r
+	// holds the quantile.
+	rank := uint64(q*float64(hv.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > hv.Count {
+		rank = hv.Count
+	}
+	var cum uint64
+	for _, b := range hv.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return bucketUpper(b.Index)
+		}
+	}
+	return bucketUpper(hv.Buckets[len(hv.Buckets)-1].Index)
+}
+
+// Mean returns the arithmetic mean of the observations (exact, from the
+// running sum), or 0 for an empty histogram.
+func (hv HistogramValue) Mean() float64 {
+	if hv.Count == 0 {
+		return 0
+	}
+	return float64(hv.Sum) / float64(hv.Count)
+}
+
+// Merge folds other into a copy of hv bucket-wise and returns it. All
+// histograms share one fixed bucket grid, so merging is exact (no
+// re-bucketing error), associative and commutative — fold any number of
+// per-node histograms in any order.
+func (hv HistogramValue) Merge(other HistogramValue) HistogramValue {
+	merged := HistogramValue{
+		Name:   hv.Name,
+		Labels: hv.Labels,
+		Count:  hv.Count + other.Count,
+		Sum:    hv.Sum + other.Sum,
+	}
+	i, j := 0, 0
+	for i < len(hv.Buckets) || j < len(other.Buckets) {
+		switch {
+		case j >= len(other.Buckets) || (i < len(hv.Buckets) && hv.Buckets[i].Index < other.Buckets[j].Index):
+			merged.Buckets = append(merged.Buckets, hv.Buckets[i])
+			i++
+		case i >= len(hv.Buckets) || other.Buckets[j].Index < hv.Buckets[i].Index:
+			merged.Buckets = append(merged.Buckets, other.Buckets[j])
+			j++
+		default:
+			merged.Buckets = append(merged.Buckets, BucketCount{
+				Index: hv.Buckets[i].Index,
+				Count: hv.Buckets[i].Count + other.Buckets[j].Count,
+			})
+			i++
+			j++
+		}
+	}
+	return merged
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketBoundaryRoundTrip walks every bucket boundary (and its
+// neighbors) across the full uint64 range and asserts the index/bound
+// maps are mutually consistent: a value lands in a bucket whose bounds
+// contain it, bucket indexes are monotone in the value, and bucketUpper
+// is the largest value mapping to that index.
+func TestBucketBoundaryRoundTrip(t *testing.T) {
+	// Exhaustive over the exact region.
+	for v := uint64(0); v < histSubCount*4; v++ {
+		idx := bucketIndex(v)
+		if upper := bucketUpper(idx); v > upper {
+			t.Fatalf("value %d > bucketUpper(%d) = %d", v, idx, upper)
+		}
+	}
+	// The first histSubCount*2 buckets are exact (width 1).
+	for v := uint64(0); v < histSubCount*2; v++ {
+		if got := bucketUpper(bucketIndex(v)); got != v {
+			t.Fatalf("exact region: value %d mapped to bucket with upper %d", v, got)
+		}
+	}
+	// Boundary probes at every octave: lower bound, upper bound, and
+	// one past each must round-trip and stay monotone.
+	prevIdx := -1
+	var prevUpper uint64
+	for idx := 0; idx < histNumBuckets; idx++ {
+		upper := bucketUpper(idx)
+		if idx > 0 && upper <= prevUpper && upper != 0 {
+			// uppers must strictly increase (the last octave saturates
+			// at 2^64-1, where upper+1 overflows to 0).
+			t.Fatalf("bucketUpper not monotone: bucket %d upper %d, bucket %d upper %d",
+				idx-1, prevUpper, idx, upper)
+		}
+		if got := bucketIndex(upper); got != idx {
+			t.Fatalf("bucketIndex(bucketUpper(%d)) = %d", idx, got)
+		}
+		if upper+1 != 0 { // skip the final saturating bucket
+			if got := bucketIndex(upper + 1); got != idx+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d (one past bucket %d)",
+					upper+1, got, idx+1, idx)
+			}
+		}
+		prevIdx, prevUpper = idx, upper
+	}
+	if prevIdx != histNumBuckets-1 {
+		t.Fatalf("walked %d buckets, want %d", prevIdx+1, histNumBuckets)
+	}
+	// Relative error bound: bucket width / lower bound <= 1/histSubCount.
+	for idx := histSubCount * 2; idx < histNumBuckets; idx++ {
+		upper := bucketUpper(idx)
+		var lower uint64
+		if idx > 0 {
+			lower = bucketUpper(idx-1) + 1
+		}
+		if lower == 0 || upper+1 == 0 {
+			continue // degenerate first / saturating last bucket
+		}
+		width := upper - lower + 1
+		if width*histSubCount > lower+width {
+			t.Fatalf("bucket %d [%d,%d] wider than %d%% of its value",
+				idx, lower, upper, 100/histSubCount)
+		}
+	}
+}
+
+// TestHistogramMergeAssociativity checks that merging snapshots is
+// associative and commutative and preserves totals — the property that
+// lets hdkbench fold per-daemon histograms in any order.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int) HistogramValue {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Observe(uint64(rng.Int63n(1 << uint(10+rng.Intn(30)))))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(500), mk(300), mk(800)
+
+	eq := func(x, y HistogramValue) bool {
+		if x.Count != y.Count || x.Sum != y.Sum || len(x.Buckets) != len(y.Buckets) {
+			return false
+		}
+		for i := range x.Buckets {
+			if x.Buckets[i] != y.Buckets[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	abC := a.Merge(b).Merge(c)
+	aBC := a.Merge(b.Merge(c))
+	if !eq(abC, aBC) {
+		t.Fatal("merge is not associative")
+	}
+	if !eq(a.Merge(b), b.Merge(a)) {
+		t.Fatal("merge is not commutative")
+	}
+	if abC.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d, want %d", abC.Count, a.Count+b.Count+c.Count)
+	}
+	if abC.Sum != a.Sum+b.Sum+c.Sum {
+		t.Fatalf("merged sum %d, want %d", abC.Sum, a.Sum+b.Sum+c.Sum)
+	}
+	// Quantiles of the merge must equal quantiles of one histogram fed
+	// all three workloads (the bucket grid is shared, so the merge is
+	// exact, not approximate).
+	var all Histogram
+	rng = rand.New(rand.NewSource(7))
+	for _, n := range []int{500, 300, 800} {
+		for i := 0; i < n; i++ {
+			all.Observe(uint64(rng.Int63n(1 << uint(10+rng.Intn(30)))))
+		}
+	}
+	direct := all.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := abC.Quantile(q), direct.Quantile(q); got != want {
+			t.Fatalf("merged p%.0f = %d, direct = %d", q*100, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy records random workloads from several
+// distributions and checks extracted p50/p95/p99 against the exact
+// sorted order statistic: the histogram's answer must be >= the exact
+// value and within the bucket scheme's 12.5% relative error.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	workloads := map[string]func(r *rand.Rand) uint64{
+		"uniform":   func(r *rand.Rand) uint64 { return uint64(r.Int63n(1_000_000)) },
+		"exp-ish":   func(r *rand.Rand) uint64 { return uint64(1) << uint(r.Intn(40)) },
+		"latency":   func(r *rand.Rand) uint64 { return uint64(50_000 + r.Int63n(10_000_000)) },
+		"heavytail": func(r *rand.Rand) uint64 { return uint64(r.Int63n(10_000)) * uint64(r.Int63n(100_000)) },
+	}
+	for name, gen := range workloads {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			const n = 20_000
+			var h Histogram
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = gen(rng)
+				h.Observe(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			snap := h.Snapshot()
+			if snap.Count != n {
+				t.Fatalf("snapshot count %d, want %d", snap.Count, n)
+			}
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				got := snap.Quantile(q)
+				rank := int(q*float64(n)+0.5) - 1
+				if rank < 0 {
+					rank = 0
+				}
+				exact := vals[rank]
+				if got < exact {
+					t.Fatalf("p%.0f = %d below exact %d", q*100, got, exact)
+				}
+				// Upper bound: got is the bucket upper of exact's
+				// bucket, so got <= exact * (1 + 1/histSubCount) + 1.
+				limit := float64(exact)*(1+1.0/histSubCount) + 1
+				if float64(got) > limit {
+					t.Fatalf("p%.0f = %d exceeds %.0f (exact %d + 12.5%%)",
+						q*100, got, limit, exact)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the degenerate inputs.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistogramValue
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %d, want 0", got)
+	}
+	var h Histogram
+	h.Observe(7)
+	snap := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := snap.Quantile(q); got != 7 {
+			t.Fatalf("single-value histogram q=%v = %d, want 7", q, got)
+		}
+	}
+	if snap.Mean() != 7 {
+		t.Fatalf("mean = %v, want 7", snap.Mean())
+	}
+	if empty.Mean() != 0 {
+		t.Fatalf("empty mean = %v, want 0", empty.Mean())
+	}
+}

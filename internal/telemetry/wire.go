@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Snapshot wire codec — the payload of the cluster.metrics RPC. Same
+// discipline as the rest of the wire: a leading version byte, uvarint
+// lengths and counts, and decoders that reject truncated or oversized
+// frames instead of allocating on attacker-controlled lengths.
+//
+// Layout (version 1):
+//
+//	byte    version (snapshotWireVersion)
+//	uvarint counter count, then per counter:
+//	          string name, uvarint label count, labels (string key, string value),
+//	          uvarint value
+//	uvarint gauge count, then per gauge:
+//	          name, labels, fixed64 IEEE-754 bits
+//	uvarint histogram count, then per histogram:
+//	          name, labels, uvarint count, uvarint sum,
+//	          uvarint bucket count, then per bucket: uvarint index, uvarint count
+
+const snapshotWireVersion = 1
+
+// maxSnapshotSeries bounds the per-kind series count a decoder will
+// accept; a registry approaching it is misusing labels as values.
+const maxSnapshotSeries = 1 << 16
+
+// maxSnapshotString bounds any single name/label string.
+const maxSnapshotString = 1 << 12
+
+var errCorruptSnapshot = errors.New("telemetry: corrupt metrics snapshot")
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > maxSnapshotString || uint64(len(b)-sz) < n {
+		return "", nil, errCorruptSnapshot
+	}
+	b = b[sz:]
+	return string(b[:n]), b[n:], nil
+}
+
+func decodeUvarint(b []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, errCorruptSnapshot
+	}
+	return n, b[sz:], nil
+}
+
+func appendLabels(buf []byte, labels []Label) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(labels)))
+	for _, l := range labels {
+		buf = appendString(buf, l.Key)
+		buf = appendString(buf, l.Value)
+	}
+	return buf
+}
+
+func decodeLabels(b []byte) ([]Label, []byte, error) {
+	n, b, err := decodeUvarint(b)
+	if err != nil || n > 64 {
+		return nil, nil, errCorruptSnapshot
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	labels := make([]Label, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		if k, b, err = decodeString(b); err != nil {
+			return nil, nil, err
+		}
+		if v, b, err = decodeString(b); err != nil {
+			return nil, nil, err
+		}
+		labels = append(labels, Label{Key: k, Value: v})
+	}
+	return labels, b, nil
+}
+
+// EncodeSnapshot serializes a snapshot in the versioned wire format.
+func EncodeSnapshot(s Snapshot) []byte {
+	buf := make([]byte, 0, 512)
+	buf = append(buf, snapshotWireVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Counters)))
+	for _, c := range s.Counters {
+		buf = appendString(buf, c.Name)
+		buf = appendLabels(buf, c.Labels)
+		buf = binary.AppendUvarint(buf, c.Value)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Gauges)))
+	for _, g := range s.Gauges {
+		buf = appendString(buf, g.Name)
+		buf = appendLabels(buf, g.Labels)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.Value))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Histograms)))
+	for _, h := range s.Histograms {
+		buf = appendString(buf, h.Name)
+		buf = appendLabels(buf, h.Labels)
+		buf = binary.AppendUvarint(buf, h.Count)
+		buf = binary.AppendUvarint(buf, h.Sum)
+		buf = binary.AppendUvarint(buf, uint64(len(h.Buckets)))
+		for _, b := range h.Buckets {
+			buf = binary.AppendUvarint(buf, uint64(b.Index))
+			buf = binary.AppendUvarint(buf, b.Count)
+		}
+	}
+	return buf
+}
+
+// DecodeSnapshot parses a snapshot produced by EncodeSnapshot,
+// rejecting unknown versions and corrupt frames.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if len(b) == 0 || b[0] != snapshotWireVersion {
+		return s, errCorruptSnapshot
+	}
+	b = b[1:]
+
+	n, b, err := decodeUvarint(b)
+	if err != nil || n > maxSnapshotSeries {
+		return s, errCorruptSnapshot
+	}
+	s.Counters = make([]CounterValue, 0, min(n, 256))
+	for i := uint64(0); i < n; i++ {
+		var c CounterValue
+		if c.Name, b, err = decodeString(b); err != nil {
+			return Snapshot{}, err
+		}
+		if c.Labels, b, err = decodeLabels(b); err != nil {
+			return Snapshot{}, err
+		}
+		if c.Value, b, err = decodeUvarint(b); err != nil {
+			return Snapshot{}, err
+		}
+		s.Counters = append(s.Counters, c)
+	}
+
+	if n, b, err = decodeUvarint(b); err != nil || n > maxSnapshotSeries {
+		return Snapshot{}, errCorruptSnapshot
+	}
+	s.Gauges = make([]GaugeValue, 0, min(n, 256))
+	for i := uint64(0); i < n; i++ {
+		var g GaugeValue
+		if g.Name, b, err = decodeString(b); err != nil {
+			return Snapshot{}, err
+		}
+		if g.Labels, b, err = decodeLabels(b); err != nil {
+			return Snapshot{}, err
+		}
+		if len(b) < 8 {
+			return Snapshot{}, errCorruptSnapshot
+		}
+		g.Value = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		s.Gauges = append(s.Gauges, g)
+	}
+
+	if n, b, err = decodeUvarint(b); err != nil || n > maxSnapshotSeries {
+		return Snapshot{}, errCorruptSnapshot
+	}
+	s.Histograms = make([]HistogramValue, 0, min(n, 64))
+	for i := uint64(0); i < n; i++ {
+		var h HistogramValue
+		if h.Name, b, err = decodeString(b); err != nil {
+			return Snapshot{}, err
+		}
+		if h.Labels, b, err = decodeLabels(b); err != nil {
+			return Snapshot{}, err
+		}
+		if h.Count, b, err = decodeUvarint(b); err != nil {
+			return Snapshot{}, err
+		}
+		if h.Sum, b, err = decodeUvarint(b); err != nil {
+			return Snapshot{}, err
+		}
+		var bc uint64
+		if bc, b, err = decodeUvarint(b); err != nil || bc > histNumBuckets {
+			return Snapshot{}, errCorruptSnapshot
+		}
+		h.Buckets = make([]BucketCount, 0, bc)
+		prev := -1
+		for j := uint64(0); j < bc; j++ {
+			var idx, cnt uint64
+			if idx, b, err = decodeUvarint(b); err != nil {
+				return Snapshot{}, err
+			}
+			if cnt, b, err = decodeUvarint(b); err != nil {
+				return Snapshot{}, err
+			}
+			// Buckets must be strictly ascending and in range, or
+			// Quantile's cumulative walk would lie.
+			if idx >= histNumBuckets || int(idx) <= prev {
+				return Snapshot{}, errCorruptSnapshot
+			}
+			prev = int(idx)
+			h.Buckets = append(h.Buckets, BucketCount{Index: int(idx), Count: cnt})
+		}
+		s.Histograms = append(s.Histograms, h)
+	}
+	if len(b) != 0 {
+		return Snapshot{}, errCorruptSnapshot
+	}
+	return s, nil
+}

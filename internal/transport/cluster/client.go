@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/overlay"
 	"repro/internal/replica"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -48,6 +49,7 @@ const (
 	ctrlForget    = "cluster.forget"
 	ctrlConfigure = "cluster.configure"
 	ctrlMeta      = "cluster.meta"
+	ctrlMetrics   = "cluster.metrics"
 	ctrlShutdown  = "cluster.shutdown"
 )
 
@@ -398,6 +400,38 @@ func (c *Client) SearchVia(addr string, req core.SearchRequest) (*core.SearchRes
 			sleep += time.Duration(rand.Int64N(spread + 1))
 		}
 		time.Sleep(sleep)
+	}
+}
+
+// SearchTraceVia is SearchVia with the request's Trace flag forced on:
+// it returns the daemon's per-query span tree alongside the answer.
+// The trace is nil when the daemon answered from its result cache (a
+// cache hit skips coordination, so there is nothing to trace) — retry
+// with NoCache to force a coordinated, traced run.
+func (c *Client) SearchTraceVia(addr string, req core.SearchRequest) (*core.SearchResult, *telemetry.Trace, error) {
+	req.Trace = true
+	for attempt := 0; ; attempt++ {
+		raw, err := c.CallService(addr, core.SvcSearch, core.EncodeSearchRequest(req))
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: search via %s: %w", addr, err)
+		}
+		res, _, traceBytes, err := core.DecodeSearchResponseTrace(raw)
+		var ov *core.OverloadError
+		if errors.As(err, &ov) && attempt < searchBackoffAttempts-1 {
+			time.Sleep(ov.RetryAfter)
+			continue
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: search via %s: %w", addr, err)
+		}
+		if traceBytes == nil {
+			return res, nil, nil
+		}
+		trace, err := telemetry.DecodeTrace(traceBytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: search via %s: trace: %w", addr, err)
+		}
+		return res, trace, nil
 	}
 }
 

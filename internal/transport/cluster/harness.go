@@ -33,11 +33,12 @@ type Harness struct {
 	// default "always", the SIGKILL-proof setting restart tests need).
 	Fsync string
 
-	procs    []*exec.Cmd
-	addrs    []string
-	dead     []bool
-	replicas int
-	extra    []string
+	procs     []*exec.Cmd
+	addrs     []string
+	httpAddrs []string
+	dead      []bool
+	replicas  int
+	extra     []string
 }
 
 // NodeDataDir returns daemon i's durable data directory ("" without
@@ -109,12 +110,13 @@ func (h *Harness) Start(n, replicas int, extraArgs ...string) error {
 		}
 		h.procs = append(h.procs, cmd)
 		h.dead = append(h.dead, false)
-		addr, err := awaitBanner(stdout)
+		addr, httpAddr, err := awaitBanner(stdout)
 		if err != nil {
 			h.Stop()
 			return fmt.Errorf("cluster: node %d: %w", i, err)
 		}
 		h.addrs = append(h.addrs, addr)
+		h.httpAddrs = append(h.httpAddrs, httpAddr)
 	}
 	if err := h.awaitConvergence(n); err != nil {
 		h.Stop()
@@ -155,7 +157,7 @@ func (h *Harness) Restart(i int) error {
 	if err := cmd.Start(); err != nil {
 		return fmt.Errorf("cluster: restart node %d: %w", i, err)
 	}
-	addr, err := awaitBanner(stdout)
+	addr, httpAddr, err := awaitBanner(stdout)
 	if err != nil {
 		cmd.Process.Kill()
 		cmd.Wait()
@@ -168,22 +170,32 @@ func (h *Harness) Restart(i int) error {
 	}
 	h.procs[i] = cmd
 	h.dead[i] = false
+	// The HTTP endpoint usually runs on an ephemeral port, so a restart
+	// re-learns it (unlike the RPC address, which is pinned).
+	h.httpAddrs[i] = httpAddr
 	return nil
 }
 
-// awaitBanner scans a daemon's stdout for the listening banner.
-func awaitBanner(r io.Reader) (string, error) {
+// awaitBanner scans a daemon's stdout for the listening banner, also
+// collecting the observability-endpoint banner ("hdknode http on
+// <addr>", printed first when the daemon runs with -http; "" without).
+func awaitBanner(r io.Reader) (addr, httpAddr string, err error) {
 	type result struct {
-		addr string
-		err  error
+		addr, httpAddr string
+		err            error
 	}
 	ch := make(chan result, 1)
 	go func() {
+		var http string
 		sc := bufio.NewScanner(r)
 		for sc.Scan() {
 			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "hdknode http on "); ok {
+				http = strings.TrimSpace(rest)
+				continue
+			}
 			if rest, ok := strings.CutPrefix(line, "hdknode listening on "); ok {
-				ch <- result{addr: strings.TrimSpace(rest)}
+				ch <- result{addr: strings.TrimSpace(rest), httpAddr: http}
 				// Keep draining stdout so the child never blocks on a
 				// full pipe.
 				for sc.Scan() {
@@ -195,9 +207,9 @@ func awaitBanner(r io.Reader) (string, error) {
 	}()
 	select {
 	case res := <-ch:
-		return res.addr, res.err
+		return res.addr, res.httpAddr, res.err
 	case <-time.After(startTimeout):
-		return "", fmt.Errorf("no listen banner within %v", startTimeout)
+		return "", "", fmt.Errorf("no listen banner within %v", startTimeout)
 	}
 }
 
@@ -227,6 +239,10 @@ func (h *Harness) awaitConvergence(n int) error {
 
 // Addrs returns the daemons' listen addresses in start order.
 func (h *Harness) Addrs() []string { return append([]string(nil), h.addrs...) }
+
+// HTTPAddrs returns the daemons' observability-endpoint addresses in
+// start order ("" for daemons running without -http).
+func (h *Harness) HTTPAddrs() []string { return append([]string(nil), h.httpAddrs...) }
 
 // Kill crashes daemon i (SIGKILL) and reaps it — the ungraceful
 // departure the availability scenario simulates.

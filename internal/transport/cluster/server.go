@@ -14,6 +14,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/overlay"
 	"repro/internal/replica"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -102,7 +103,6 @@ type Server struct {
 	searchSem      chan struct{}
 	searchQueued   int
 	searchQueueCap int
-	searchRejected atomic.Uint64
 
 	// cmu orders result-cache fills against invalidation: a coordination
 	// records cacheGen before probing and only publishes its result if
@@ -112,9 +112,15 @@ type Server struct {
 	cacheGen    uint64
 	searchCache *cache.LRU[[]byte]
 
-	insertRPCs atomic.Uint64 // hdk.insert RPCs served (re-index traffic meter)
-	fetchRPCs  atomic.Uint64 // hdk.fetchBatch RPCs served (query fetch meter)
-	searchRPCs atomic.Uint64 // hdk.search coordinations served
+	// metrics is the daemon's telemetry registry with the serving-path
+	// instruments pre-registered (see server_metrics.go). cluster.info
+	// is a JSON view over it; cluster.metrics ships the whole registry.
+	metrics *serverMetrics
+
+	// Slow-query log state: the threshold in nanoseconds (0 = off) and
+	// the unix-nano stamp of the last emitted line (rate limiter).
+	slowQueryNanos atomic.Int64
+	slowLogLast    atomic.Int64
 
 	smu      sync.RWMutex
 	services map[string]transport.Handler
@@ -181,8 +187,12 @@ func NewServer(tr transport.Transport, listen string, replicas int) (*Server, er
 		searchSem:      make(chan struct{}, defaultSearchWorkers),
 		searchQueueCap: defaultSearchQueue,
 		searchCache:    cache.NewLRU[[]byte](defaultSearchCache),
+		metrics:        newServerMetrics(),
 		done:           make(chan struct{}),
 	}
+	// Registry before Listen: the transport delivers traffic the moment
+	// it binds, and every handler assumes the instruments exist.
+	s.registerGauges()
 	bound, err := tr.Listen(listen, s.dispatch)
 	if err != nil {
 		return nil, err
@@ -329,7 +339,7 @@ func (s *Server) Warm() bool {
 
 // InsertRPCs returns the number of hdk.insert calls served by this
 // process.
-func (s *Server) InsertRPCs() uint64 { return s.insertRPCs.Load() }
+func (s *Server) InsertRPCs() uint64 { return s.metrics.insertRPCs.Value() }
 
 // CatchUp pulls the delta this daemon missed while it was down: it
 // builds a client fabric over its own membership view, sweeps the other
@@ -481,6 +491,8 @@ func (s *Server) dispatch(req []byte) ([]byte, error) {
 			return nil, fmt.Errorf("cluster: %s not configured", s.addr)
 		}
 		return meta, nil
+	case ctrlMetrics:
+		return telemetry.EncodeSnapshot(s.metrics.reg.Snapshot()), nil
 	case ctrlShutdown:
 		// Signal Done only after this response frame has had time to
 		// flush: the daemon main closes the transport on Done, and
@@ -501,12 +513,12 @@ func (s *Server) dispatch(req []byte) ([]byte, error) {
 	case core.SvcInsert:
 		// Meter re-index traffic: a warm-restarted daemon proves its
 		// restored index cost zero rebuild RPCs by this staying 0.
-		s.insertRPCs.Add(1)
+		s.metrics.insertRPCs.Inc()
 	case core.SvcFetchBatch:
 		// Meter query fetches: a repeat query served from a
 		// coordinator's result cache proves itself by this staying flat
 		// on every daemon.
-		s.fetchRPCs.Add(1)
+		s.metrics.fetchRPCs.Inc()
 	}
 	return h(payload)
 }
@@ -526,20 +538,19 @@ func (s *Server) handleInfo() ([]byte, error) {
 		Configured:    s.store != nil,
 		Members:       len(s.members),
 		Warm:          s.warm,
-		InsertRPCs:    s.insertRPCs.Load(),
+		InsertRPCs:    s.metrics.insertRPCs.Value(),
 		CatchUpStale:  s.catchUp.Stale,
 		CatchUpPulled: s.catchUp.CopiesPulled,
-		FetchRPCs:     s.fetchRPCs.Load(),
-		SearchRPCs:    s.searchRPCs.Load(),
+		FetchRPCs:     s.metrics.fetchRPCs.Value(),
+		SearchRPCs:    s.metrics.searchRPCs.Value(),
 	}
 	if s.store != nil {
 		info.Keys = s.store.KeyCount()
 	}
 	s.mu.Unlock()
-	s.cmu.Lock()
-	info.SearchCacheHits, info.SearchCacheMisses = s.searchCache.Stats()
-	s.cmu.Unlock()
-	info.SearchRejected = s.searchRejected.Load()
+	info.SearchCacheHits = s.metrics.cacheHits.Value()
+	info.SearchCacheMisses = s.metrics.cacheMisses.Value()
+	info.SearchRejected = s.metrics.searchShed.Value()
 	s.amu.Lock()
 	// Admitted minus running = waiting for a worker slot (clamped: the
 	// two reads are not atomic with respect to releases in flight).
@@ -561,7 +572,7 @@ func (s *Server) handleInfo() ([]byte, error) {
 // explicit overload rejection instead of queueing unboundedly (cache
 // hits bypass admission — they cost no coordination work).
 func (s *Server) handleSearch(req []byte) ([]byte, error) {
-	s.searchRPCs.Add(1)
+	s.metrics.searchRPCs.Inc()
 	sreq, err := core.DecodeSearchRequest(req)
 	if err != nil {
 		return nil, err
@@ -572,35 +583,64 @@ func (s *Server) handleSearch(req []byte) ([]byte, error) {
 	if store == nil {
 		return nil, fmt.Errorf("cluster: %s not configured", s.addr)
 	}
+	var tb *telemetry.TraceBuilder
 	key := string(req)
+	if sreq.Trace {
+		tb = telemetry.StartTrace("coordinate",
+			telemetry.Str("node", s.addr),
+			telemetry.Num("terms", uint64(len(sreq.Terms))),
+			telemetry.Num("k", uint64(sreq.K)))
+		// The raw request bytes are the cache key, but the trace flag must
+		// not split the cache: a traced run of a query and its untraced
+		// repeats share one answer, so the key is always the canonical
+		// untraced encoding.
+		untraced := sreq
+		untraced.Trace = false
+		key = string(core.EncodeSearchRequest(untraced))
+	}
 	var gen uint64
 	if !sreq.NoCache {
+		cacheSpan := tb.Start(0, "cache")
 		s.cmu.Lock()
 		body, ok := s.searchCache.Get(key)
 		gen = s.cacheGen
 		s.cmu.Unlock()
+		tb.Annotate(cacheSpan, telemetry.Str("hit", fmt.Sprintf("%t", ok)))
+		tb.End(cacheSpan)
 		if ok {
+			// Cache hits skip coordination, so a traced request answered
+			// from cache carries no trace (documented on SearchRequest).
+			s.metrics.cacheHits.Inc()
 			return core.EncodeSearchResponse(body, true), nil
 		}
+		s.metrics.cacheMisses.Inc()
 	}
+	admSpan := tb.Start(0, "admission")
+	admStart := time.Now()
 	release, retryAfter := s.admitSearch()
 	if release == nil {
 		// Shed: workers and queue are full. The rejection is a transport
 		// SUCCESS carrying the retry-after hint — a handler error would
 		// be retried as transient by the RPC layer instead of backed off.
-		s.searchRejected.Add(1)
+		s.metrics.searchShed.Inc()
 		return core.EncodeSearchOverloaded(retryAfter), nil
 	}
+	s.metrics.admissionWait.ObserveDuration(time.Since(admStart))
+	tb.End(admSpan)
 	defer release()
 	fab, self, err := s.coordinationFabric()
 	if err != nil {
 		return nil, err
 	}
-	coord := core.Coordinator{Net: fab, Cfg: store.Config(), From: self}
-	res, err := coord.Search(sreq.Terms, sreq.K)
+	coord := core.Coordinator{Net: fab, Cfg: store.Config(), From: self, Metrics: s.metrics.reg}
+	coordStart := time.Now()
+	res, err := coord.SearchTraced(sreq.Terms, sreq.K, tb)
 	if err != nil {
 		return nil, err
 	}
+	coordDur := time.Since(coordStart)
+	s.metrics.coordination.ObserveDuration(coordDur)
+	s.noteSlowQuery(sreq, res, coordDur)
 	body := core.EncodeSearchResult(res)
 	if !sreq.NoCache {
 		// Publish only if no mutation invalidated the cache since this
@@ -611,6 +651,9 @@ func (s *Server) handleSearch(req []byte) ([]byte, error) {
 			s.searchCache.Put(key, body)
 		}
 		s.cmu.Unlock()
+	}
+	if tb != nil {
+		return core.EncodeSearchResponseTraced(body, telemetry.EncodeTrace(tb.Finish())), nil
 	}
 	return core.EncodeSearchResponse(body, false), nil
 }
@@ -761,6 +804,18 @@ func FetchInfo(tr transport.Transport, addr string) (Info, error) {
 	}
 	err = json.Unmarshal(raw, &info)
 	return info, err
+}
+
+// FetchMetrics pulls a daemon's full telemetry snapshot over the
+// cluster.metrics RPC (versioned binary codec, not JSON — histograms
+// ride along intact, so snapshots from several daemons merge
+// bucket-exactly for cluster-wide quantiles).
+func FetchMetrics(tr transport.Transport, addr string) (telemetry.Snapshot, error) {
+	raw, err := transport.CallRetry(tr, addr, overlay.EncodeEnvelope(ctrlMetrics, nil), maxTransientRetries)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	return telemetry.DecodeSnapshot(raw)
 }
 
 // Compile-time check: the server is an overlay member (store attachment

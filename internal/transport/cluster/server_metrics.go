@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// serverMetrics is the daemon's telemetry registry plus the hot-path
+// instruments pre-registered on it, so serving code increments a field
+// instead of taking the registry lock per request. The registry itself
+// is the single source of truth: cluster.info renders a JSON view over
+// these same series, and cluster.metrics / the -http endpoint export
+// the full registry (coordinator- and transport-level series included).
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	insertRPCs  *telemetry.Counter // hdk.insert RPCs served (re-index traffic meter)
+	fetchRPCs   *telemetry.Counter // hdk.fetchBatch RPCs served (query fetch meter)
+	searchRPCs  *telemetry.Counter // hdk.search coordinations served (cache hits included)
+	searchShed  *telemetry.Counter // searches shed by admission control
+	cacheHits   *telemetry.Counter // query-result cache hits
+	cacheMisses *telemetry.Counter // query-result cache misses
+	slowQueries *telemetry.Counter // coordinations over the slow-query threshold
+
+	admissionWait *telemetry.Histogram // wait for a worker slot, admitted requests only
+	coordination  *telemetry.Histogram // fresh coordination latency (cache hits excluded)
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := telemetry.NewRegistry()
+	return &serverMetrics{
+		reg:           reg,
+		insertRPCs:    reg.Counter("hdk_insert_rpcs_total"),
+		fetchRPCs:     reg.Counter("hdk_fetch_rpcs_total"),
+		searchRPCs:    reg.Counter("hdk_search_rpcs_total"),
+		searchShed:    reg.Counter("hdk_search_shed_total"),
+		cacheHits:     reg.Counter("hdk_search_cache_hits_total"),
+		cacheMisses:   reg.Counter("hdk_search_cache_misses_total"),
+		slowQueries:   reg.Counter("hdk_search_slow_total"),
+		admissionWait: reg.Histogram("hdk_search_admission_wait_nanoseconds"),
+		coordination:  reg.Histogram("hdk_search_coordination_nanoseconds"),
+	}
+}
+
+// registerGauges wires the callback gauges that read live server state.
+// Called from NewServer before the transport listens; each callback is
+// evaluated at snapshot time and takes only the lock of the state it
+// reads (Snapshot is never called under those locks).
+func (s *Server) registerGauges() {
+	reg := s.metrics.reg
+	reg.GaugeFunc("hdk_search_queue_depth", func() float64 {
+		s.amu.Lock()
+		defer s.amu.Unlock()
+		// Admitted minus running = waiting for a worker slot (clamped:
+		// the two reads are not atomic w.r.t. releases in flight).
+		if depth := s.searchQueued - len(s.searchSem); depth > 0 {
+			return float64(depth)
+		}
+		return 0
+	})
+	reg.GaugeFunc("hdk_cluster_members", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.members))
+	})
+	reg.GaugeFunc("hdk_store_keys", func() float64 {
+		s.mu.Lock()
+		store := s.store
+		s.mu.Unlock()
+		if store == nil {
+			return 0
+		}
+		return float64(store.KeyCount())
+	})
+}
+
+// Metrics returns the daemon's telemetry registry — the one cluster.info
+// and cluster.metrics render, shared with the coordinator's per-level
+// series. Callers instrument further subsystems onto it (the daemon
+// main registers its transport and durable store here) and the -http
+// endpoint serves its Prometheus exposition.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
+
+// SetSlowQueryLog arms the per-node slow-query log: any fresh
+// coordination slower than threshold bumps hdk_search_slow_total and is
+// reported to stderr, rate-limited to one line per second so a
+// saturated daemon meters itself instead of flooding its log (the
+// counter stays exact; only the log lines are sampled). A zero or
+// negative threshold disables both.
+func (s *Server) SetSlowQueryLog(threshold time.Duration) {
+	s.slowQueryNanos.Store(int64(threshold))
+}
+
+func (s *Server) noteSlowQuery(req core.SearchRequest, res *core.SearchResult, dur time.Duration) {
+	thr := s.slowQueryNanos.Load()
+	if thr <= 0 || int64(dur) < thr {
+		return
+	}
+	s.metrics.slowQueries.Inc()
+	now := time.Now().UnixNano()
+	last := s.slowLogLast.Load()
+	if now-last < int64(time.Second) || !s.slowLogLast.CompareAndSwap(last, now) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "hdknode %s: slow query (%v): terms=%q k=%d rpcs=%d failovers=%d postings=%d\n",
+		s.addr, dur.Round(time.Microsecond), req.Terms, req.K, res.RPCs, res.Failovers, res.FetchedPosts)
+}

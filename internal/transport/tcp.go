@@ -35,6 +35,10 @@ type TCP struct {
 	reuses      atomic.Uint64
 	staleRetry  atomic.Uint64
 	idleDropped atomic.Uint64
+
+	// metrics is nil until Instrument; hooks load it atomically so the
+	// hot path costs one pointer load when telemetry is off.
+	metrics atomic.Pointer[tcpMetrics]
 }
 
 // TCPConfig tunes the pooled transport. The zero value selects the
@@ -200,13 +204,16 @@ func (t *TCP) getConn(addr string) (conn net.Conn, reused bool, err error) {
 		t.inflight[conn] = struct{}{}
 		t.mu.Unlock()
 		t.reuses.Add(1)
+		t.observeReuse()
 		return conn, true, nil
 	}
 	t.mu.Unlock()
+	dialStart := time.Now()
 	conn, err = net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
 		return nil, false, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	t.observeDial(time.Since(dialStart))
 	t.mu.Lock()
 	if t.closed {
 		// Close ran between the check above and the dial completing; the
@@ -260,6 +267,7 @@ func (t *TCP) putConn(addr string, conn net.Conn) {
 	if t.closed || len(t.idle[addr]) >= t.cfg.MaxIdlePerHost {
 		t.mu.Unlock()
 		t.idleDropped.Add(1)
+		t.observeIdleDropped()
 		conn.Close()
 		return
 	}
@@ -308,20 +316,26 @@ func (t *TCP) roundTrip(conn net.Conn, req []byte) ([]byte, error) {
 // connection are reported to the caller (CallRetry handles transient
 // policies above this layer).
 func (t *TCP) Call(addr string, req []byte) ([]byte, error) {
+	callStart := time.Now()
 	for attempt := 0; ; attempt++ {
 		conn, reused, err := t.getConn(addr)
 		if err != nil {
+			t.observeCall(0, err)
 			return nil, err
 		}
 		resp, err := t.roundTrip(conn, req)
 		if err == nil {
 			t.putConn(addr, conn)
 			t.account(len(req), len(resp))
+			t.observeCall(time.Since(callStart), nil)
 			return resp, nil
 		}
 		if _, remote := err.(errRemote); remote {
 			// The remote rejected the request; the connection is fine.
+			// Handler errors are answers, not transport failures, so the
+			// round trip still counts as a completed call.
 			t.putConn(addr, conn)
+			t.observeCall(time.Since(callStart), nil)
 			return nil, err
 		}
 		t.release(conn)
@@ -345,8 +359,10 @@ func (t *TCP) Call(addr string, req []byte) ([]byte, error) {
 			// popping the next dead one.
 			t.dropIdle(addr)
 			t.staleRetry.Add(1)
+			t.observeStaleRetry()
 			continue
 		}
+		t.observeCall(0, err)
 		return nil, fmt.Errorf("transport: call %s: %w", addr, err)
 	}
 }

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// tcpMetrics is the registry view of the pool counters plus the two
+// latency histograms only the transport can measure. The struct is
+// swapped in atomically by Instrument so an uninstrumented transport
+// (every in-process test, the fat client) pays one nil pointer load
+// per hook.
+type tcpMetrics struct {
+	dials        *telemetry.Counter
+	reuses       *telemetry.Counter
+	staleRetries *telemetry.Counter
+	idleDropped  *telemetry.Counter
+	callErrors   *telemetry.Counter
+	dialLat      *telemetry.Histogram
+	callLat      *telemetry.Histogram
+}
+
+// Instrument registers the transport's metrics on reg and starts
+// recording into them: dial and end-to-end call latency histograms,
+// pool behavior counters (mirroring PoolStats), and callback gauges for
+// the live in-flight call and idle connection counts. Safe to call
+// while the transport is serving; calls observed before Instrument are
+// simply not recorded.
+func (t *TCP) Instrument(reg *telemetry.Registry) {
+	m := &tcpMetrics{
+		dials:        reg.Counter("hdk_transport_dials_total"),
+		reuses:       reg.Counter("hdk_transport_pool_reuses_total"),
+		staleRetries: reg.Counter("hdk_transport_stale_retries_total"),
+		idleDropped:  reg.Counter("hdk_transport_idle_dropped_total"),
+		callErrors:   reg.Counter("hdk_transport_call_errors_total"),
+		dialLat:      reg.Histogram("hdk_transport_dial_nanoseconds"),
+		callLat:      reg.Histogram("hdk_transport_call_nanoseconds"),
+	}
+	reg.GaugeFunc("hdk_transport_inflight_calls", func() float64 {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return float64(len(t.inflight))
+	})
+	reg.GaugeFunc("hdk_transport_idle_conns", func() float64 {
+		return float64(t.IdleConns())
+	})
+	t.metrics.Store(m)
+}
+
+// observeDial records one fresh dial and its latency.
+func (t *TCP) observeDial(d time.Duration) {
+	if m := t.metrics.Load(); m != nil {
+		m.dials.Inc()
+		m.dialLat.ObserveDuration(d)
+	}
+}
+
+// observeCall records one completed Call: its end-to-end latency on
+// success (pool checkout and any stale-retry re-dial included — the
+// latency a caller actually experienced), or the error counter.
+func (t *TCP) observeCall(d time.Duration, err error) {
+	m := t.metrics.Load()
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.callErrors.Inc()
+		return
+	}
+	m.callLat.ObserveDuration(d)
+}
+
+func (t *TCP) observeReuse() {
+	if m := t.metrics.Load(); m != nil {
+		m.reuses.Inc()
+	}
+}
+
+func (t *TCP) observeStaleRetry() {
+	if m := t.metrics.Load(); m != nil {
+		m.staleRetries.Inc()
+	}
+}
+
+func (t *TCP) observeIdleDropped() {
+	if m := t.metrics.Load(); m != nil {
+		m.idleDropped.Inc()
+	}
+}

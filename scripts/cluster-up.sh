@@ -16,13 +16,21 @@
 #   REPLICAS   -replicas passed to every daemon
 #   NODE_ARGS  extra flags appended to every daemon's command line
 #              (e.g. -search-workers 2 -search-queue 2)
-#   CMD        run once every daemon printed its readiness banner
+#   CMD        run once every daemon is ready
 #
-# Each daemon logs to ./node<port>.log. If a daemon never prints its
-# "hdknode listening" banner, the script prints the tail of the
-# offending log and exits 1 — the log name is the first thing a failed
-# CI run needs. All daemons are killed on exit, whatever the outcome.
+# With CLUSTER_HTTP_OFFSET=<n> in the environment, every daemon also
+# serves its observability endpoint on 127.0.0.1:(port+n), and
+# readiness is probed by polling /healthz (which answers 200 only once
+# the daemon is recovered, joined and serving) instead of grepping the
+# log for the banner. Without it, the log-grep fallback applies.
+#
+# Each daemon logs to ./node<port>.log. If a daemon never becomes
+# ready, the script prints the tail of the offending log and exits 1 —
+# the log name is the first thing a failed CI run needs. All daemons
+# are killed on exit, whatever the outcome.
 set -u
+
+HTTP_OFFSET="${CLUSTER_HTTP_OFFSET:-}"
 
 if [ "$#" -lt 5 ]; then
     echo "usage: $0 BIN BASE_PORT COUNT REPLICAS [NODE_ARGS...] -- CMD [ARGS...]" >&2
@@ -55,18 +63,31 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# await_banner PORT: poll the daemon's log for the readiness banner
-# (printed only once the daemon is bound AND serving, warm catch-up
-# included); on timeout, show the log tail and fail.
-await_banner() {
+# http_args PORT: the daemon's -http flag when CLUSTER_HTTP_OFFSET is
+# set (nothing otherwise, keeping the default command line unchanged).
+http_args() {
+    if [ -n "$HTTP_OFFSET" ]; then
+        echo "-http 127.0.0.1:$(($1 + HTTP_OFFSET))"
+    fi
+}
+
+# await_ready PORT: with CLUSTER_HTTP_OFFSET, poll the daemon's
+# /healthz endpoint (200 only once recovered, joined and serving);
+# otherwise fall back to grepping the log for the readiness banner. On
+# timeout, show the log tail and fail.
+await_ready() {
     local port=$1 log="node$1.log"
     for _ in $(seq 1 150); do
-        if grep -q "hdknode listening" "$log" 2>/dev/null; then
+        if [ -n "$HTTP_OFFSET" ]; then
+            if curl -sf "http://127.0.0.1:$((port + HTTP_OFFSET))/healthz" >/dev/null 2>&1; then
+                return 0
+            fi
+        elif grep -q "hdknode listening" "$log" 2>/dev/null; then
             return 0
         fi
         sleep 0.2
     done
-    echo "cluster-up: daemon on port $port never printed its banner; tail of $log:" >&2
+    echo "cluster-up: daemon on port $port never became ready; tail of $log:" >&2
     tail -n 40 "$log" >&2 || true
     return 1
 }
@@ -74,18 +95,20 @@ await_banner() {
 # Node 0 boots alone; every further node joins through it. Sequential
 # boot keeps membership convergence deterministic.
 FIRST_PORT=$BASE_PORT
-"$BIN" -listen "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" \
+# shellcheck disable=SC2046 # http_args is intentionally word-split
+"$BIN" -listen "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" $(http_args "$FIRST_PORT") \
     ${NODE_ARGS[@]+"${NODE_ARGS[@]}"} > "node$FIRST_PORT.log" 2>&1 &
 PIDS+=($!)
-await_banner "$FIRST_PORT" || exit 1
+await_ready "$FIRST_PORT" || exit 1
 
 i=1
 while [ "$i" -lt "$COUNT" ]; do
     port=$((BASE_PORT + i))
-    "$BIN" -listen "127.0.0.1:$port" -join "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" \
+    # shellcheck disable=SC2046
+    "$BIN" -listen "127.0.0.1:$port" -join "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" $(http_args "$port") \
         ${NODE_ARGS[@]+"${NODE_ARGS[@]}"} > "node$port.log" 2>&1 &
     PIDS+=($!)
-    await_banner "$port" || exit 1
+    await_ready "$port" || exit 1
     i=$((i + 1))
 done
 
