@@ -32,6 +32,13 @@
 // allocation count — additionally requires the candidate to stay
 // STRICTLY below it: the hot-path microperf win must never be silently
 // lost, not merely never regress past the current number.
+//
+// When both reports carry a "build" section (the streamed
+// coordinator-side build every live -connect run records), the chunk
+// counts are gated EXACTLY (pure functions of the corpus and the chunk
+// target), the resume probe's resend count must be exactly ZERO (a
+// nonzero value means an acked chunk was shipped twice), and build
+// throughput is gated low-side at -time-tolerance.
 package main
 
 import (
@@ -135,8 +142,12 @@ func check(basePath, candPath string, tol, timeTol float64) (regressions []strin
 		regressions = append(regressions, codecRegs...)
 		compared++
 	}
+	if buildRegs, buildCompared := checkBuild(base.Build, cand.Build, timeTol); buildCompared {
+		regressions = append(regressions, buildRegs...)
+		compared++
+	}
 	if compared == 0 {
-		return nil, 0, fmt.Errorf("nothing comparable: baseline %s and candidate %s share no sweep runs, coordinator section or codec section", basePath, candPath)
+		return nil, 0, fmt.Errorf("nothing comparable: baseline %s and candidate %s share no sweep runs, coordinator section, codec section or build section", basePath, candPath)
 	}
 	return regressions, compared, nil
 }
@@ -223,6 +234,44 @@ func checkCoordinator(b, c *experiments.CoordReport, timeTol float64) (regressio
 		regressions = append(regressions,
 			fmt.Sprintf("coordinator ThroughputQPS: %.4g -> %.4g (-%.1f%%, time tolerance %.0f%%)",
 				b.ThroughputQPS, c.ThroughputQPS, 100*(1-c.ThroughputQPS/b.ThroughputQPS), 100*timeTol))
+	}
+	return regressions, true
+}
+
+// checkBuild compares the streamed coordinator-side build sections when
+// both reports carry them. The chunk counts are a pure function of the
+// corpus and the chunk target, so they must match the baseline exactly,
+// and the resume probe must re-ship ZERO chunks — regardless of what
+// the baseline recorded, a nonzero resend means an acked chunk was
+// shipped twice, which is the invariant this gate exists to hold. Build
+// throughput is wall-clock and gated on the LOW side at the time
+// tolerance.
+func checkBuild(b, c *experiments.BuildReport, timeTol float64) (regressions []string, compared bool) {
+	if b == nil || c == nil {
+		return nil, false
+	}
+	if b.Nodes != c.Nodes || b.Replicas != c.Replicas || b.Docs != c.Docs || b.ChunkBytes != c.ChunkBytes {
+		return []string{fmt.Sprintf(
+			"build shape differs: baseline %d nodes/R=%d/%d docs/%d-byte chunks, candidate %d/%d/%d/%d — not comparable",
+			b.Nodes, b.Replicas, b.Docs, b.ChunkBytes,
+			c.Nodes, c.Replicas, c.Docs, c.ChunkBytes)}, true
+	}
+	if c.ResumeResent != 0 {
+		regressions = append(regressions,
+			fmt.Sprintf("build ResumeResent: %d — the resume probe re-shipped acked chunks (must be exactly 0)", c.ResumeResent))
+	}
+	exact := func(name string, bv, cv int) {
+		if bv != cv {
+			regressions = append(regressions,
+				fmt.Sprintf("build %s: %d -> %d (deterministic chunk count, must match exactly)", name, bv, cv))
+		}
+	}
+	exact("ChunksTotal", b.ChunksTotal, c.ChunksTotal)
+	exact("ChunksSent", b.ChunksSent, c.ChunksSent)
+	if b.DocsPerSec > 0 && c.DocsPerSec < b.DocsPerSec/(1+timeTol) {
+		regressions = append(regressions,
+			fmt.Sprintf("build DocsPerSec: %.4g -> %.4g (-%.1f%%, time tolerance %.0f%%)",
+				b.DocsPerSec, c.DocsPerSec, 100*(1-c.DocsPerSec/b.DocsPerSec), 100*timeTol))
 	}
 	return regressions, true
 }

@@ -62,12 +62,13 @@ func main() {
 	clients := flag.Int("clients", 4, "with -coordinator: concurrent closed-loop clients for the throughput/latency phase")
 	codec := flag.Bool("codec", false, "run the hot-path codec microbench (allocation counts per wire-codec op) instead of a sweep")
 	saturate := flag.Bool("saturate", false, "with -connect: drive offered load past the coordinator's capacity and gate the bounded-serving contract (exits nonzero unless every gate holds)")
+	chunkBytes := flag.Int("build-chunk-bytes", 0, "with -connect: hdk.ingest chunk payload target in bytes (0 = cluster default)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
-	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *kill, *fanout, *clients, *coordinator, *codec, *saturate, *quiet, setFlags); err != nil {
+	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *kill, *fanout, *clients, *chunkBytes, *coordinator, *codec, *saturate, *quiet, setFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hdkbench:", err)
 		os.Exit(1)
 	}
@@ -89,7 +90,7 @@ func parseReplicas(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill float64, fanout, clients int, coordinator, codec, saturate, quiet bool, setFlags map[string]bool) error {
+func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill float64, fanout, clients, chunkBytes int, coordinator, codec, saturate, quiet bool, setFlags map[string]bool) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -121,7 +122,7 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 		// The codec microbench needs no cluster, sweep or experiment
 		// selection; reject combinations rather than silently running
 		// something other than what was asked for.
-		for _, name := range []string{"connect", "coordinator", "clients", "experiment", "fabric", "kill", "replicas", "fanout"} {
+		for _, name := range []string{"connect", "coordinator", "clients", "experiment", "fabric", "kill", "replicas", "fanout", "build-chunk-bytes"} {
 			if setFlags[name] {
 				return fmt.Errorf("-%s does not apply to -codec (hot-path microbench)", name)
 			}
@@ -139,7 +140,7 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 		}
 		// The saturation gate has fixed CI parameters; reject flags that
 		// would suggest they apply.
-		for _, name := range []string{"coordinator", "experiment", "fabric", "kill", "replicas", "fanout", "scale"} {
+		for _, name := range []string{"coordinator", "experiment", "fabric", "kill", "replicas", "fanout", "scale", "build-chunk-bytes"} {
 			if setFlags[name] {
 				return fmt.Errorf("-%s does not apply to -saturate (bounded-serving gate)", name)
 			}
@@ -168,6 +169,9 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 	if setFlags["clients"] && !coordinator {
 		return fmt.Errorf("-clients applies to the -coordinator bench only")
 	}
+	if setFlags["build-chunk-bytes"] && connect == "" {
+		return fmt.Errorf("-build-chunk-bytes applies to the -connect streamed build only")
+	}
 	if connect != "" {
 		// The live-cluster bench has no experiment selection, fabric
 		// choice or kill sweep; reject those flags rather than silently
@@ -187,23 +191,25 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 		tr := transport.NewTCP()
 		defer tr.Close()
 		if coordinator {
-			rep, err := experiments.CoordBench(tr, connect, scale, r, clients, progress)
+			rep, build, err := experiments.CoordBench(tr, connect, scale, r, clients, chunkBytes, progress)
 			if err != nil {
 				return err
 			}
+			build.Fprint(os.Stdout)
 			rep.Fprint(os.Stdout)
 			if jsonPath != "" {
-				// The BenchReport wrapper (steps absent, coordinator set)
-				// keeps the artifact comparable by cmd/benchcheck next to
-				// the sweep baselines.
-				return experiments.WriteJSON(jsonPath, &experiments.BenchReport{Scale: scale, Coordinator: rep})
+				// The BenchReport wrapper (steps absent, coordinator and
+				// build set) keeps the artifact comparable by
+				// cmd/benchcheck next to the sweep baselines.
+				return experiments.WriteJSON(jsonPath, &experiments.BenchReport{Scale: scale, Coordinator: rep, Build: build})
 			}
 			return nil
 		}
-		rep, err := experiments.ConnectBench(tr, connect, scale, r, progress)
+		rep, build, err := experiments.ConnectBench(tr, connect, scale, r, chunkBytes, progress)
 		if err != nil {
 			return err
 		}
+		build.Fprint(os.Stdout)
 		rep.Fprint(os.Stdout)
 		if jsonPath != "" {
 			return experiments.WriteJSON(jsonPath, rep)

@@ -10,14 +10,16 @@
 //
 // By default the peer network is simulated in-process. With -connect the
 // shell becomes the thin client of a REAL cluster: it discovers the
-// hdknode daemons behind the given address, ships them the engine
-// configuration, builds the index across the separate OS processes over
-// pooled TCP, and serves queries from their stores (-peers is ignored —
-// the cluster size decides; -replicas defaults to the factor the daemons
-// advertise). With -coordinator each query is ONE hdk.search RPC to the
-// -connect daemon, which runs the whole lattice traversal node-side and
-// may answer from its query-result cache; without it the shell
-// orchestrates the fan-out itself.
+// hdknode daemons behind the given address, streams each daemon its
+// corpus shard over the chunked resumable hdk.ingest session
+// (-build-chunk-bytes sets the chunk payload target), and asks a daemon
+// to coordinate the round-synchronous index build node-side (hdk.build)
+// — the shell never runs a build round and holds no peer state
+// (-peers is ignored — the cluster size decides; -replicas defaults to
+// the factor the daemons advertise). With -coordinator each query is
+// ONE hdk.search RPC to the -connect daemon, which runs the whole
+// lattice traversal node-side and may answer from its query-result
+// cache; without it the shell orchestrates the fan-out itself.
 //
 // Type a query (space-separated terms from the printed sample
 // vocabulary), or one of the commands:
@@ -55,6 +57,7 @@ func main() {
 	coordinator := flag.Bool("coordinator", false, "with -connect: send each query as ONE hdk.search RPC and let the daemon coordinate the traversal")
 	trace := flag.Bool("trace", false, "with -coordinator: ask the daemon for a per-query span tree (admission, cache, per-level fetch waves) and print it under each answer")
 	forget := flag.String("forget", "", "with -connect: drop this dead member's address from the cluster membership before building")
+	chunkBytes := flag.Int("build-chunk-bytes", 0, "with -connect: hdk.ingest chunk payload target in bytes (0 = cluster default)")
 	flag.Parse()
 	replicasSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -63,15 +66,18 @@ func main() {
 		}
 	})
 
-	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas, *connect, *forget, *coordinator, *trace, replicasSet); err != nil {
+	if err := run(*docs, *peers, *dfmax, *topk, *fanout, *replicas, *chunkBytes, *connect, *forget, *coordinator, *trace, replicasSet); err != nil {
 		fmt.Fprintln(os.Stderr, "hdksearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string, coordinator, trace, replicasSet bool) error {
+func run(docs, peers, dfmax, topk, fanout, replicas, chunkBytes int, connect, forget string, coordinator, trace, replicasSet bool) error {
 	if forget != "" && connect == "" {
 		return fmt.Errorf("-forget requires -connect (it edits a live cluster's membership)")
+	}
+	if chunkBytes != 0 && connect == "" {
+		return fmt.Errorf("-build-chunk-bytes requires -connect (the in-process engine does not stream)")
 	}
 	if coordinator && connect == "" {
 		return fmt.Errorf("-coordinator requires -connect (daemons coordinate, the in-process engine queries directly)")
@@ -101,7 +107,7 @@ func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string,
 			}
 			replicas = info.Replicas
 		}
-		if clu, err = cluster.Connect(tcp, connect); err != nil {
+		if clu, err = cluster.Dial(cluster.Options{Transport: tcp, Seed: connect, ChunkBytes: chunkBytes}); err != nil {
 			return err
 		}
 		if forget != "" {
@@ -133,29 +139,66 @@ func run(docs, peers, dfmax, topk, fanout, replicas int, connect, forget string,
 	cfg.Window = 10
 	cfg.SearchFanout = fanout
 	cfg.ReplicationFactor = replicas
-	if clu != nil {
-		if err := clu.Configure(cfg); err != nil {
-			return err
-		}
-	}
 	eng, err := core.NewEngine(fabric, cfg, col.Vocab, col.TermFrequencies())
 	if err != nil {
 		return err
 	}
 	members := fabric.Members()
-	for i, part := range col.SplitRoundRobin(peers) {
-		if _, err := eng.AddPeer(members[i], part); err != nil {
+	if clu != nil {
+		// Streamed coordinator-side build: ship each daemon its shard
+		// over hdk.ingest (document j to ring member j%n — the same
+		// placement the in-process path uses), then let a daemon
+		// coordinate the round-synchronous build. The shell holds one
+		// document at a time and runs zero rounds; the engine above is a
+		// query-only view (global vocabulary and statistics, no peers).
+		fmt.Printf("streaming %d docs to %d hdknode processes (DFmax=%d, w=%d, smax=%d, R=%d, %d-byte chunks)...\n",
+			col.M(), peers, cfg.DFMax, cfg.Window, cfg.SMax, cfg.ReplicationFactor, clu.ChunkTarget())
+		freqs := col.TermFrequencies()
+		for i, m := range members {
+			j := i
+			src := cluster.IngestSource{
+				Session:   1,
+				Config:    cfg,
+				Vocab:     col.Vocab,
+				TermFreqs: freqs,
+				TotalDocs: col.M(),
+				ShardDocs: (len(col.Docs) - i + peers - 1) / peers,
+				Docs: func() (corpus.Document, bool) {
+					if j >= len(col.Docs) {
+						return corpus.Document{}, false
+					}
+					d := col.Docs[j]
+					j += peers
+					return d, true
+				},
+			}
+			st, err := clu.Ingest(m.Addr(), src)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %s: %d docs in %d chunks (%d shipped, %d already held)\n",
+				m.Addr(), st.Docs, st.Chunks, st.ChunksSent, st.ChunksSkipped)
+		}
+		lastRound := -1
+		if err := clu.BuildRemote(connect, func(info cluster.Info) {
+			if info.BuildRound > 0 && info.BuildRound != lastRound {
+				lastRound = info.BuildRound
+				fmt.Printf("  build round %d/%d\n", info.BuildRound, cfg.SMax)
+			}
+		}); err != nil {
 			return err
 		}
-	}
-	where := "peers"
-	if clu != nil {
-		where = "hdknode processes"
-	}
-	fmt.Printf("indexing %d docs over %d %s (DFmax=%d, w=%d, smax=%d, R=%d)...\n",
-		col.M(), peers, where, cfg.DFMax, cfg.Window, cfg.SMax, cfg.ReplicationFactor)
-	if err := eng.BuildIndex(); err != nil {
-		return err
+	} else {
+		for i, part := range col.SplitRoundRobin(peers) {
+			if _, err := eng.AddPeer(members[i], part); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("indexing %d docs over %d peers (DFmax=%d, w=%d, smax=%d, R=%d)...\n",
+			col.M(), peers, cfg.DFMax, cfg.Window, cfg.SMax, cfg.ReplicationFactor)
+		if err := eng.BuildIndex(); err != nil {
+			return err
+		}
 	}
 	printIndexReady(eng, clu)
 	fmt.Printf("sample vocabulary: %s\n", strings.Join(col.Vocab[40:52], " "))

@@ -305,6 +305,37 @@ func (e *Engine) runRound(s int) error {
 	return e.classifyAndNotify(s)
 }
 
+// IndexPeerRound runs one peer's candidate generation + batched insert
+// pass for key size s — the per-peer quarter of the round-synchronous
+// build loop, exported so a cluster daemon can execute its own shard's
+// rounds under an external coordinator (the hdk.build path). The
+// coordinator must barrier every participating peer at size s before
+// running ClassifyRound(s); within the barrier, peers may run
+// concurrently (documents are disjoint, so store merges commute).
+func (e *Engine) IndexPeerRound(p *Peer, s int) error {
+	if s < 1 || s > e.cfg.SMax {
+		return fmt.Errorf("core: round size %d outside 1..%d", s, e.cfg.SMax)
+	}
+	return e.indexPeerRound(p, s)
+}
+
+// ClassifyRound runs the classification sweep and notify delivery for
+// key size s across every member of the fabric — the coordinator's half
+// of an externally driven build round (remote stores are swept through
+// SvcClassify, notifications delivered through SvcNotify).
+func (e *Engine) ClassifyRound(s int) error {
+	if s < 1 || s > e.cfg.SMax {
+		return fmt.Errorf("core: round size %d outside 1..%d", s, e.cfg.SMax)
+	}
+	return e.classifyAndNotify(s)
+}
+
+// FinishBuild resets per-peer freshness state and advances document
+// watermarks after the final round — BuildIndex's epilogue, exported so
+// each daemon of an externally coordinated build can complete its own
+// peers once every round has run.
+func (e *Engine) FinishBuild() { e.finishRounds() }
+
 func (e *Engine) indexPeerRound(p *Peer, s int) error {
 	cands := p.generate(s)
 	n, err := p.insertAll(cands, s)
@@ -378,7 +409,7 @@ func (e *Engine) classifyAndNotify(s int) error {
 				batch[i] = postings.KeyedMessage{Key: k}
 			}
 			payload := postings.EncodeKeyedBatch(nil, batch)
-			if _, err := e.net.CallService(addr, svcNotify, payload); err != nil {
+			if _, err := e.net.CallService(addr, SvcNotify, payload); err != nil {
 				if errors.Is(err, transport.ErrUnknownAddress) {
 					// The contributor departed the fabric (crashed member
 					// removed by FailNode): its documents are out of the

@@ -57,7 +57,7 @@ func newPeer(eng *Engine, node overlay.Member, local *corpus.Collection) *Peer {
 		p.fresh[i] = make(map[Key]bool)
 	}
 	p.appendDocs(local)
-	node.Handle(svcNotify, p.handleNotify)
+	node.Handle(SvcNotify, p.handleNotify)
 	return p
 }
 
@@ -96,6 +96,13 @@ func (p *Peer) AddDocuments(local *corpus.Collection) error {
 	p.appendDocs(local)
 	return nil
 }
+
+// ServeNotify handles one SvcNotify delivery. newPeer registers
+// handleNotify on the peer's own overlay member, which covers fabrics
+// that dispatch member-local services; the cluster daemon additionally
+// registers this exported form on its RPC dispatch so an external build
+// coordinator reaches the peer's expansion state over the wire.
+func (p *Peer) ServeNotify(req []byte) ([]byte, error) { return p.handleNotify(req) }
 
 // handleNotify records keys the global index reclassified as
 // non-discriminative; they drive next round's expansion.

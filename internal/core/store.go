@@ -19,7 +19,10 @@ const (
 	// (exported so the cluster daemon can meter re-index traffic).
 	SvcInsert     = "hdk.insert"
 	SvcFetchBatch = "hdk.fetchBatch"
-	svcNotify     = "hdk.notify"
+	// SvcNotify delivers NDK expansion notifications to a contributing
+	// peer (exported so the cluster daemon can route deliveries from an
+	// external build coordinator to its locally hosted peer).
+	SvcNotify = "hdk.notify"
 )
 
 // KeyStatus is the global classification of a key held by the index.

@@ -36,7 +36,7 @@ type ConnectReport struct {
 	PoolReuses   uint64
 }
 
-// connectedCluster is a discovered, configured and freshly built live
+// connectedCluster is a discovered, streamed-to and freshly built live
 // cluster plus everything a bench needs to query it — shared by the
 // thin-client bench (ConnectBench) and the coordinator bench
 // (CoordBench).
@@ -48,14 +48,19 @@ type connectedCluster struct {
 	queries    []corpus.Query
 	n          int
 	replicas   int
-	buildNanos int64
+	build      *BuildReport
+	buildNanos int64 // end-to-end ingest + build wall clock
 }
 
 // connectBuild discovers the cluster behind seed, generates the scale's
 // collection for its size (DocsPerPeer documents per daemon, first
-// DFmax), configures every daemon and builds the index through the
-// client fabric. replicas <= 0 adopts the factor the daemons advertise.
-func connectBuild(tr transport.Transport, seed string, scale Scale, replicas int, progress Progress) (*connectedCluster, error) {
+// DFmax), and builds the index COORDINATOR-SIDE: each daemon's shard is
+// streamed over hdk.ingest and the daemons run the round-synchronous
+// build themselves (hdk.build). The engine it returns holds no corpus
+// and no peers — it is a query-only view over the cluster. replicas <=
+// 0 adopts the factor the daemons advertise; chunkBytes <= 0 the
+// default ingest chunk target.
+func connectBuild(tr transport.Transport, seed string, scale Scale, replicas, chunkBytes int, progress Progress) (*connectedCluster, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,7 +71,7 @@ func connectBuild(tr transport.Transport, seed string, scale Scale, replicas int
 		}
 		replicas = info.Replicas
 	}
-	c, err := cluster.Connect(tr, seed)
+	c, err := cluster.Dial(cluster.Options{Transport: tr, Seed: seed, ChunkBytes: chunkBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -99,43 +104,38 @@ func connectBuild(tr transport.Transport, seed string, scale Scale, replicas int
 	}
 	cfg.ReplicationFactor = replicas
 
-	if err := c.Configure(cfg); err != nil {
-		return nil, err
+	progress("connect: streaming %d docs to %d daemons (DFmax=%d, R=%d, %d-byte chunks)",
+		col.M(), n, cfg.DFMax, replicas, c.ChunkTarget())
+	build, err := StreamBuild(c, col, cfg, 1, progress)
+	if err != nil {
+		return nil, fmt.Errorf("streamed build: %w", err)
 	}
+	// Query-only engine: it knows the vocabulary and global statistics
+	// but holds no documents — exactly what a search front-end holds.
 	eng, err := core.NewEngine(c, cfg, col.Vocab, col.TermFrequencies())
 	if err != nil {
 		return nil, err
 	}
-	members := c.Members()
-	for i, part := range col.SplitRoundRobin(n) {
-		if _, err := eng.AddPeer(members[i], part); err != nil {
-			return nil, err
-		}
-	}
-
-	progress("connect: building %d docs over %d daemons (DFmax=%d, R=%d)", col.M(), n, cfg.DFMax, replicas)
-	buildStart := time.Now()
-	if err := eng.BuildIndex(); err != nil {
-		return nil, fmt.Errorf("cluster build: %w", err)
-	}
 	return &connectedCluster{
 		c: c, eng: eng, cfg: cfg, col: col, queries: queries,
-		n: n, replicas: replicas,
-		buildNanos: time.Since(buildStart).Nanoseconds(),
+		n: n, replicas: replicas, build: build,
+		buildNanos: build.IngestNanos + build.BuildNanos,
 	}, nil
 }
 
-// ConnectBench discovers the cluster behind seed, builds the scale's
-// collection over it (DocsPerPeer documents per daemon, first DFmax) and
-// measures build and per-query costs over the real sockets. replicas <= 0
-// adopts the factor the daemons advertise.
-func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas int, progress Progress) (*ConnectReport, error) {
+// ConnectBench discovers the cluster behind seed, streams the scale's
+// collection into it (DocsPerPeer documents per daemon, first DFmax),
+// has the daemons build coordinator-side, and measures build and
+// per-query costs over the real sockets. It returns the query report
+// and the streamed-build report. replicas <= 0 adopts the factor the
+// daemons advertise; chunkBytes <= 0 the default ingest chunk target.
+func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas, chunkBytes int, progress Progress) (*ConnectReport, *BuildReport, error) {
 	if progress == nil {
 		progress = nopProgress
 	}
-	cc, err := connectBuild(tr, seed, scale, replicas, progress)
+	cc, err := connectBuild(tr, seed, scale, replicas, chunkBytes, progress)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	eng, queries := cc.eng, cc.queries
 
@@ -144,7 +144,7 @@ func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas int
 	queryStart := time.Now()
 	for i, q := range queries {
 		if _, err := eng.Search(q, origin, 10); err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
+			return nil, nil, fmt.Errorf("query %d: %w", i, err)
 		}
 	}
 	queryNanos := time.Since(queryStart).Nanoseconds()
@@ -166,7 +166,7 @@ func ConnectBench(tr transport.Transport, seed string, scale Scale, replicas int
 		ps := tcp.PoolStats()
 		rep.PoolDials, rep.PoolReuses = ps.Dials, ps.Reuses
 	}
-	return rep, nil
+	return rep, cc.build, nil
 }
 
 // Fprint renders the connect bench report.

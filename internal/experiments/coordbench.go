@@ -81,20 +81,22 @@ type CoordReport struct {
 	ServerCoordP99Nanos int64  `json:"server_coord_p99_nanos,omitempty"`
 }
 
-// CoordBench builds the scale's collection over the live cluster behind
-// seed (exactly like ConnectBench) and measures the coordinated query
-// path with `clients` concurrent closed-loop clients. replicas <= 0
-// adopts the daemons' advertised factor.
-func CoordBench(tr transport.Transport, seed string, scale Scale, replicas, clients int, progress Progress) (*CoordReport, error) {
+// CoordBench streams the scale's collection into the live cluster
+// behind seed (exactly like ConnectBench) and measures the coordinated
+// query path with `clients` concurrent closed-loop clients, returning
+// the query report and the streamed-build report. replicas <= 0 adopts
+// the daemons' advertised factor; chunkBytes <= 0 the default ingest
+// chunk target.
+func CoordBench(tr transport.Transport, seed string, scale Scale, replicas, clients, chunkBytes int, progress Progress) (*CoordReport, *BuildReport, error) {
 	if progress == nil {
 		progress = nopProgress
 	}
 	if clients < 1 {
 		clients = 1
 	}
-	cc, err := connectBuild(tr, seed, scale, replicas, progress)
+	cc, err := connectBuild(tr, seed, scale, replicas, chunkBytes, progress)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	members := cc.c.Members()
 	addrs := make([]string, len(members))
@@ -118,10 +120,10 @@ func CoordBench(tr transport.Transport, seed string, scale Scale, replicas, clie
 	for i, req := range reqs {
 		res, cached, err := cc.c.SearchVia(addrs[i%len(addrs)], req)
 		if err != nil {
-			return nil, fmt.Errorf("cold query %d: %w", i, err)
+			return nil, nil, fmt.Errorf("cold query %d: %w", i, err)
 		}
 		if cached {
-			return nil, fmt.Errorf("cold query %d served from cache on a fresh cluster", i)
+			return nil, nil, fmt.Errorf("cold query %d served from cache on a fresh cluster", i)
 		}
 		cold[i] = res
 		rep.ColdRPCsAvg += float64(res.RPCs)
@@ -139,23 +141,23 @@ func CoordBench(tr transport.Transport, seed string, scale Scale, replicas, clie
 	// answer must come from the result caches and cost zero fetches.
 	fetchesBefore, err := clusterFetchMeter(tr, addrs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i, req := range reqs {
 		res, cached, err := cc.c.SearchVia(addrs[i%len(addrs)], req)
 		if err != nil {
-			return nil, fmt.Errorf("warm query %d: %w", i, err)
+			return nil, nil, fmt.Errorf("warm query %d: %w", i, err)
 		}
 		if cached {
 			rep.WarmCached++
 		}
 		if !reflect.DeepEqual(res.Results, cold[i].Results) {
-			return nil, fmt.Errorf("warm query %d: cached answer diverges from cold answer", i)
+			return nil, nil, fmt.Errorf("warm query %d: cached answer diverges from cold answer", i)
 		}
 	}
 	fetchesAfter, err := clusterFetchMeter(tr, addrs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep.WarmFetchRPCs = fetchesAfter - fetchesBefore
 	progress("coord: warm pass, %d/%d cached, %d fetch RPCs", rep.WarmCached, len(reqs), rep.WarmFetchRPCs)
@@ -189,7 +191,7 @@ func CoordBench(tr transport.Transport, seed string, scale Scale, replicas, clie
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	rep.LoopRequests = total
@@ -209,7 +211,7 @@ func CoordBench(tr transport.Transport, seed string, scale Scale, replicas, clie
 		progress("coord: server-side p50 %.2fms p99 %.2fms over %d coordinations",
 			float64(rep.ServerCoordP50Nanos)/1e6, float64(rep.ServerCoordP99Nanos)/1e6, merged.Count)
 	}
-	return rep, nil
+	return rep, cc.build, nil
 }
 
 // clusterCoordHistogram pulls every daemon's telemetry snapshot and

@@ -14,15 +14,18 @@ import (
 // BenchReport is the JSON shape of one sweep. Coordinator, when set,
 // carries a node-side serving measurement (hdkbench -connect
 // -coordinator) next to — or instead of — the in-process sweep steps,
-// and Codec a hot-path codec microbench (hdkbench -codec);
-// cmd/benchcheck compares whichever sections baseline and candidate
-// share.
+// Codec a hot-path codec microbench (hdkbench -codec), and Build the
+// streamed coordinator-side build measurement (ingest traffic, the
+// zero-reship resume probe, build throughput) recorded by every live
+// -connect run; cmd/benchcheck compares whichever sections baseline and
+// candidate share.
 type BenchReport struct {
 	Scale       Scale             `json:"scale"`
 	Steps       []Step            `json:"steps,omitempty"`
 	Coordinator *CoordReport      `json:"coordinator,omitempty"`
 	Codec       *CodecReport      `json:"codec,omitempty"`
 	Saturation  *SaturationReport `json:"saturation,omitempty"`
+	Build       *BuildReport      `json:"build,omitempty"`
 }
 
 // BenchJSON extracts the serializable portion of sweep results (the

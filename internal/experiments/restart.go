@@ -113,7 +113,7 @@ func TCPRestart(tr transport.Transport, addrs []string, kill, restart func(i int
 	}
 
 	// Build through the durable daemons.
-	c, err := cluster.New(tr, addrs)
+	c, err := cluster.Dial(cluster.Options{Transport: tr, Addrs: addrs})
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +185,7 @@ func TCPRestart(tr transport.Transport, addrs []string, kill, restart func(i int
 	// probes landing on the restarted daemon are served from its
 	// restored store.
 	seed := addrs[(rep.VictimIdx+1)%len(addrs)]
-	c2, err := cluster.Connect(tr, seed)
+	c2, err := cluster.Dial(cluster.Options{Transport: tr, Seed: seed})
 	if err != nil {
 		return nil, fmt.Errorf("post-restart discovery: %w", err)
 	}

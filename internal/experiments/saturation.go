@@ -187,7 +187,7 @@ func Saturation(tr transport.Transport, addrs []string, opts SaturationOpts, pro
 	}
 	refOrigin := ref.Network().Members()[0]
 
-	c, err := cluster.New(tr, addrs)
+	c, err := cluster.Dial(cluster.Options{Transport: tr, Addrs: addrs})
 	if err != nil {
 		return nil, err
 	}

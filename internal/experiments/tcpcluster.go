@@ -128,7 +128,7 @@ func TCPCluster(tr transport.Transport, addrs []string, crash func(i int) error,
 	}
 
 	// Cluster build through the daemons.
-	c, err := cluster.New(tr, addrs)
+	c, err := cluster.Dial(cluster.Options{Transport: tr, Addrs: addrs})
 	if err != nil {
 		return nil, err
 	}

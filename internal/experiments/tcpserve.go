@@ -135,7 +135,7 @@ func TCPServe(tr transport.Transport, addrs []string, crash func(i int) error,
 
 	// Cluster build through the daemons, keeping the peers for the
 	// staged update.
-	c, err := cluster.New(tr, addrs)
+	c, err := cluster.Dial(cluster.Options{Transport: tr, Addrs: addrs})
 	if err != nil {
 		return nil, err
 	}

@@ -148,7 +148,7 @@ func Telemetry(tr transport.Transport, addrs, httpAddrs []string,
 	cfg.Window = opts.Window
 	cfg.ReplicationFactor = opts.Replicas
 
-	c, err := cluster.New(tr, addrs)
+	c, err := cluster.Dial(cluster.Options{Transport: tr, Addrs: addrs})
 	if err != nil {
 		return nil, err
 	}

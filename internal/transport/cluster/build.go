@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Server-side hdk.build: daemons run the round-synchronous collaborative
+// indexing themselves, over the shards hdk.ingest delivered. Any daemon
+// can coordinate — it fans the round out to every member (itself
+// included, over loopback, so all shards take the identical path), polls
+// until the round barrier holds, runs the classification sweep with its
+// own engine, and repeats through SMax. Rounds can outlast the RPC
+// timeout by orders of magnitude, so every long-running step is an
+// asynchronous kick-off plus cheap status polls; per-round progress is
+// surfaced through cluster.info and the telemetry registry.
+
+// buildPollInterval paces the coordinator's round-barrier status polls.
+const buildPollInterval = 50 * time.Millisecond
+
+// serverBuild is one daemon's build-path state: the lazily constructed
+// engine hosting its shard's peer, the per-round worker states, and the
+// coordinator state machine (only the daemon that received hdk.build
+// start runs the latter).
+type serverBuild struct {
+	mu sync.Mutex
+
+	eng  *core.Engine
+	peer *core.Peer
+
+	rounds   map[int]byte   // worker: round size -> buildRunning/Done/Failed
+	roundErr map[int]string // worker: round size -> failure message
+	round    int            // latest round this daemon has touched (either role)
+
+	coordState byte // coordinator state machine (buildIdle before start)
+	coordErr   string
+}
+
+// buildEngine lazily constructs the daemon's build engine: its
+// coordination fabric with every member's store remote (the daemon's own
+// included — self-inserts travel the loopback RPC path, so they are
+// metered, durably logged and cache-invalidated exactly like everyone
+// else's), plus one peer hosting the ingested shard. The peer's notify
+// handler is also registered on the daemon's own dispatch, so an
+// EXTERNAL coordinator's expansion notifications reach it over the wire.
+func (s *Server) buildEngine() (*core.Engine, *core.Peer, error) {
+	b := &s.build
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.eng != nil {
+		return b.eng, b.peer, nil
+	}
+	s.mu.Lock()
+	store, shard, freqs := s.store, s.shard, s.shardFreqs
+	s.mu.Unlock()
+	if store == nil {
+		return nil, nil, fmt.Errorf("cluster: %s not configured", s.addr)
+	}
+	if shard == nil {
+		return nil, nil, fmt.Errorf("cluster: %s holds no ingested corpus shard", s.addr)
+	}
+	fab, self, err := s.coordinationFabric()
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := core.NewEngine(fab, store.Config(), shard.Vocab, freqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	peer, err := eng.AddPeer(self, shard)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The fabric's self stub got the notify handler (in-process delivery
+	// for a self-coordinated build); this registration is the remote
+	// road in — another daemon's coordinator reaches this peer through
+	// plain dispatch.
+	s.Handle(core.SvcNotify, peer.ServeNotify)
+	b.eng, b.peer = eng, peer
+	if b.rounds == nil {
+		b.rounds = make(map[int]byte)
+		b.roundErr = make(map[int]string)
+	}
+	return eng, peer, nil
+}
+
+// handleBuild dispatches one hdk.build frame.
+func (s *Server) handleBuild(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, errCorruptFrame
+	}
+	body := payload[1:]
+	switch payload[0] {
+	case buildFrameStart:
+		return s.handleBuildStart()
+	case buildFrameRound:
+		size, err := decodeBuildSize(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.handleBuildRound(size)
+	case buildFrameRoundStatus:
+		size, err := decodeBuildSize(body)
+		if err != nil {
+			return nil, err
+		}
+		return s.handleBuildRoundStatus(size)
+	case buildFrameFinish:
+		return nil, s.handleBuildFinish()
+	}
+	return nil, errCorruptFrame
+}
+
+// handleBuildRound starts this daemon's candidate-generation + insert
+// pass for round size (idempotent: a duplicate frame for a round already
+// running or finished just acks). The pass runs in a goroutine — rounds
+// outlast the RPC timeout — and the coordinator polls its status.
+func (s *Server) handleBuildRound(size int) error {
+	eng, peer, err := s.buildEngine()
+	if err != nil {
+		return err
+	}
+	b := &s.build
+	b.mu.Lock()
+	if _, started := b.rounds[size]; started {
+		b.mu.Unlock()
+		return nil
+	}
+	b.rounds[size] = buildRunning
+	if size > b.round {
+		b.round = size
+	}
+	b.mu.Unlock()
+	go func() {
+		err := eng.IndexPeerRound(peer, size)
+		b.mu.Lock()
+		if err != nil {
+			b.rounds[size] = buildFailed
+			b.roundErr[size] = err.Error()
+		} else {
+			b.rounds[size] = buildDone
+		}
+		b.mu.Unlock()
+		s.metrics.buildRounds.Inc()
+	}()
+	return nil
+}
+
+// handleBuildRoundStatus reports one round's worker state plus the
+// store's resident key count (the coordinator's progress proxy).
+func (s *Server) handleBuildRoundStatus(size int) ([]byte, error) {
+	b := &s.build
+	b.mu.Lock()
+	state, ok := b.rounds[size]
+	msg := b.roundErr[size]
+	b.mu.Unlock()
+	if !ok {
+		state = buildIdle
+	}
+	var keys uint64
+	s.mu.Lock()
+	if s.store != nil {
+		keys = uint64(s.store.KeyCount())
+	}
+	s.mu.Unlock()
+	return encodeRoundStatusResp(state, keys, msg), nil
+}
+
+// handleBuildFinish runs the build epilogue for this daemon's own peer
+// (freshness reset, watermark advance). Synchronous — it touches no
+// other process and finishes in microseconds.
+func (s *Server) handleBuildFinish() error {
+	eng, _, err := s.buildEngine()
+	if err != nil {
+		return err
+	}
+	eng.FinishBuild()
+	return nil
+}
+
+// handleBuildStart makes this daemon the build coordinator. The response
+// is immediate — the orchestration runs in a goroutine and the client
+// polls cluster.info — and carries the coordinator state, so a repeated
+// start (reconnecting client) observes the running/finished build
+// instead of forking a second one.
+func (s *Server) handleBuildStart() ([]byte, error) {
+	if _, _, err := s.buildEngine(); err != nil {
+		return nil, err
+	}
+	b := &s.build
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.coordState {
+	case buildRunning, buildDone, buildFailed:
+		return []byte{b.coordState}, nil
+	}
+	b.coordState = buildRunning
+	go s.coordinateBuild()
+	return []byte{buildRunning}, nil
+}
+
+// coordinateBuild drives the full round-synchronous build from this
+// daemon: for s = 1..SMax, every member (self included) indexes its
+// shard for size s, the barrier holds when all report done, then the
+// classification sweep + notify delivery runs — the exact loop
+// core.Engine.BuildIndex runs in-process, with the per-peer quarter
+// executed by the shard-owning daemons.
+func (s *Server) coordinateBuild() {
+	b := &s.build
+	fail := func(err error) {
+		b.mu.Lock()
+		b.coordState = buildFailed
+		b.coordErr = err.Error()
+		b.mu.Unlock()
+	}
+	eng, _, err := s.buildEngine()
+	if err != nil {
+		fail(err)
+		return
+	}
+	fab := eng.Network()
+	addrs := make([]string, 0, fab.Size())
+	for _, m := range fab.Members() {
+		addrs = append(addrs, m.Addr())
+	}
+	smax := eng.Config().SMax
+	for size := 1; size <= smax; size++ {
+		b.mu.Lock()
+		b.round = size
+		b.mu.Unlock()
+		roundStart := time.Now()
+		for _, addr := range addrs {
+			if _, err := fab.CallService(addr, SvcBuild, encodeBuildRound(size)); err != nil {
+				fail(fmt.Errorf("cluster: build round %d at %s: %w", size, addr, err))
+				return
+			}
+		}
+		if err := s.awaitRound(fab, addrs, size); err != nil {
+			fail(err)
+			return
+		}
+		if err := eng.ClassifyRound(size); err != nil {
+			fail(fmt.Errorf("cluster: build round %d classify: %w", size, err))
+			return
+		}
+		s.metrics.buildRoundTime.ObserveDuration(time.Since(roundStart))
+	}
+	for _, addr := range addrs {
+		if _, err := fab.CallService(addr, SvcBuild, encodeBuildFinish()); err != nil {
+			fail(fmt.Errorf("cluster: build finish at %s: %w", addr, err))
+			return
+		}
+	}
+	b.mu.Lock()
+	b.coordState = buildDone
+	b.mu.Unlock()
+}
+
+// awaitRound polls every member until round size is done everywhere —
+// the barrier that keeps classification strictly after the last insert
+// of the round (the bit-identity invariant: inserts commute within a
+// round, classification changes state only at sweep boundaries).
+func (s *Server) awaitRound(fab interface {
+	CallService(addr, service string, req []byte) ([]byte, error)
+}, addrs []string, size int) error {
+	pending := append([]string(nil), addrs...)
+	for len(pending) > 0 {
+		next := pending[:0]
+		for _, addr := range pending {
+			raw, err := fab.CallService(addr, SvcBuild, encodeBuildRoundStatus(size))
+			if err != nil {
+				return fmt.Errorf("cluster: build round %d status at %s: %w", size, addr, err)
+			}
+			state, _, msg, err := decodeRoundStatusResp(raw)
+			if err != nil {
+				return fmt.Errorf("cluster: build round %d status at %s: %w", size, addr, err)
+			}
+			switch state {
+			case buildDone:
+			case buildFailed:
+				return fmt.Errorf("cluster: build round %d failed at %s: %s", size, addr, msg)
+			default:
+				next = append(next, addr)
+			}
+		}
+		pending = next
+		if len(pending) > 0 {
+			time.Sleep(buildPollInterval)
+		}
+	}
+	return nil
+}
+
+// buildProgress snapshots the daemon's build state for cluster.info:
+// the coordinator state machine if this daemon coordinates, the worker
+// view otherwise.
+func (s *Server) buildProgress() (state string, round int, errMsg string) {
+	b := &s.build
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	round = b.round
+	names := map[byte]string{buildIdle: "idle", buildRunning: "running", buildDone: "done", buildFailed: "failed"}
+	if b.coordState != buildIdle {
+		return names[b.coordState], round, b.coordErr
+	}
+	if b.eng == nil {
+		return "idle", 0, ""
+	}
+	// Worker view: failed if any round failed, running if any is in
+	// flight, else done-so-far.
+	st := byte(buildIdle)
+	for size, rs := range b.rounds {
+		switch rs {
+		case buildFailed:
+			return "failed", round, b.roundErr[size]
+		case buildRunning:
+			st = buildRunning
+		case buildDone:
+			if st == buildIdle {
+				st = buildDone
+			}
+		}
+	}
+	return names[st], round, ""
+}

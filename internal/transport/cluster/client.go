@@ -108,17 +108,82 @@ type Client struct {
 	byAddr map[string]*Member
 	sorted []overlay.ID
 
+	// Policy, resolved from Options at Dial time (never zero): one
+	// retry/backoff/chunking policy for every call this client makes.
+	retryBudget    int           // transient-retry budget per RPC
+	searchAttempts int           // overload backoff attempts per search
+	backoffCap     time.Duration // cap on the overload backoff window
+	chunkTarget    int           // ingest chunk payload target, bytes
+
 	lmu           sync.Mutex
 	loopbackMsgs  uint64
 	loopbackBytes uint64
 }
 
-// New builds a client fabric over the given daemon addresses.
-func New(tr transport.Transport, addrs []string) (*Client, error) {
+// Options configures a cluster client. The zero value of every field
+// selects the package default, so callers set only what they care about.
+type Options struct {
+	// Transport carries every RPC (required).
+	Transport transport.Transport
+	// Seed, when set, discovers the full membership from that one daemon
+	// (the usual thin-client bootstrap). Addrs, when set, enumerates the
+	// members explicitly; setting both is an error.
+	Seed  string
+	Addrs []string
+	// Retries is the transient-retry budget per RPC (default 8).
+	Retries int
+	// SearchAttempts bounds how often an overload-shed search is retried
+	// with capped exponential backoff (default 5); SearchBackoffCap caps
+	// the backoff window (default 2s).
+	SearchAttempts   int
+	SearchBackoffCap time.Duration
+	// ChunkBytes is the hdk.ingest chunk payload target (default 256
+	// KiB): bigger chunks amortize per-RPC cost, smaller ones re-ship
+	// less on a mid-chunk connection loss.
+	ChunkBytes int
+}
+
+// DefaultChunkBytes is the ingest chunk payload target Dial resolves a
+// zero Options.ChunkBytes to.
+const DefaultChunkBytes = 256 << 10
+
+// Dial builds the thin cluster client: it resolves the membership
+// (discovered through Seed or enumerated in Addrs) and fixes the
+// client's retry, backoff and chunking policy from the options.
+func Dial(o Options) (*Client, error) {
+	if o.Transport == nil {
+		return nil, fmt.Errorf("cluster: Dial requires a Transport")
+	}
+	if o.Seed != "" && len(o.Addrs) > 0 {
+		return nil, fmt.Errorf("cluster: Dial takes Seed or Addrs, not both")
+	}
+	addrs := o.Addrs
+	if o.Seed != "" {
+		var err error
+		if addrs, err = MembersOf(o.Transport, o.Seed); err != nil {
+			return nil, err
+		}
+	}
 	c := &Client{
-		tr:     tr,
-		byID:   make(map[overlay.ID]*Member, len(addrs)),
-		byAddr: make(map[string]*Member, len(addrs)),
+		tr:             o.Transport,
+		byID:           make(map[overlay.ID]*Member, len(addrs)),
+		byAddr:         make(map[string]*Member, len(addrs)),
+		retryBudget:    o.Retries,
+		searchAttempts: o.SearchAttempts,
+		backoffCap:     o.SearchBackoffCap,
+		chunkTarget:    o.ChunkBytes,
+	}
+	if c.retryBudget <= 0 {
+		c.retryBudget = maxTransientRetries
+	}
+	if c.searchAttempts <= 0 {
+		c.searchAttempts = searchBackoffAttempts
+	}
+	if c.backoffCap <= 0 {
+		c.backoffCap = searchBackoffCap
+	}
+	if c.chunkTarget <= 0 {
+		c.chunkTarget = DefaultChunkBytes
 	}
 	for _, a := range addrs {
 		if err := c.add(a); err != nil {
@@ -128,15 +193,25 @@ func New(tr transport.Transport, addrs []string) (*Client, error) {
 	return c, nil
 }
 
-// Connect discovers the full membership from any one daemon and builds a
-// client fabric over it.
-func Connect(tr transport.Transport, seed string) (*Client, error) {
-	addrs, err := MembersOf(tr, seed)
-	if err != nil {
-		return nil, err
-	}
-	return New(tr, addrs)
+// New builds a client fabric over the given daemon addresses with the
+// default policy.
+//
+// Deprecated: use Dial(Options{Transport: tr, Addrs: addrs}).
+func New(tr transport.Transport, addrs []string) (*Client, error) {
+	return Dial(Options{Transport: tr, Addrs: addrs})
 }
+
+// Connect discovers the full membership from any one daemon and builds a
+// client fabric over it with the default policy.
+//
+// Deprecated: use Dial(Options{Transport: tr, Seed: seed}).
+func Connect(tr transport.Transport, seed string) (*Client, error) {
+	return Dial(Options{Transport: tr, Seed: seed})
+}
+
+// ChunkTarget reports the resolved hdk.ingest chunk payload target this
+// client streams with.
+func (c *Client) ChunkTarget() int { return c.chunkTarget }
 
 // MembersOf asks one daemon for the cluster membership.
 func MembersOf(tr transport.Transport, addr string) ([]string, error) {
@@ -259,7 +334,7 @@ func (c *Client) CallService(addr, service string, req []byte) ([]byte, error) {
 		c.lmu.Unlock()
 		return resp, nil
 	}
-	return transport.CallRetry(c.tr, addr, overlay.EncodeEnvelope(service, req), maxTransientRetries)
+	return transport.CallRetry(c.tr, addr, overlay.EncodeEnvelope(service, req), c.retryBudget)
 }
 
 // RemoveNode implements overlay.Churn: the client drops a (crashed or
@@ -313,18 +388,41 @@ func (c *Client) Forget(addr string) error {
 
 // Configure ships the engine configuration to every daemon, which creates
 // its store server (idempotent: re-sending an identical configuration is
-// a no-op, a different one is rejected). Must run before BuildIndex.
+// a no-op). Must run before BuildIndex. A daemon refusing because it is
+// configured differently comes back wrapped around ErrConfigMismatch;
+// one already holding a built index comes back wrapped around
+// ErrAlreadyBuilt — both errors.Is-matchable, carried as in-band status
+// bytes so they survive the wire as types, not strings.
 func (c *Client) Configure(cfg core.Config) error {
 	payload, err := json.Marshal(cfg)
 	if err != nil {
 		return err
 	}
 	for _, m := range c.Members() {
-		if _, err := c.CallService(m.Addr(), ctrlConfigure, payload); err != nil {
+		raw, err := c.CallService(m.Addr(), ctrlConfigure, payload)
+		if err != nil {
 			return fmt.Errorf("cluster: configure %s: %w", m.Addr(), err)
+		}
+		if err := configStatusErr(m.Addr(), raw); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// configStatusErr rehydrates a configure/ingest-begin status byte into
+// its typed sentinel (an empty response is a legacy OK).
+func configStatusErr(addr string, resp []byte) error {
+	if len(resp) == 0 || resp[0] == cfgStatusOK {
+		return nil
+	}
+	switch resp[0] {
+	case cfgStatusAlreadyBuilt:
+		return fmt.Errorf("cluster: %s: %w", addr, ErrAlreadyBuilt)
+	case cfgStatusMismatch:
+		return fmt.Errorf("cluster: %s: %w", addr, ErrConfigMismatch)
+	}
+	return fmt.Errorf("cluster: %s: unknown configure status %d", addr, resp[0])
 }
 
 // Meta fetches the configuration a daemon was configured with.
@@ -378,19 +476,19 @@ func (c *Client) TrySearchVia(addr string, req core.SearchRequest) (*core.Search
 //
 // Overload rejections are retried with capped exponential backoff and
 // jitter honoring the daemon's retry-after hint: attempt i sleeps
-// between hint and min(hint<<i, searchBackoffCap). A daemon still
-// shedding after searchBackoffAttempts attempts surfaces the last
-// *core.OverloadError to the caller.
+// between hint and min(hint<<i, the backoff cap). A daemon still
+// shedding after the configured attempts (Options.SearchAttempts)
+// surfaces the last *core.OverloadError to the caller.
 func (c *Client) SearchVia(addr string, req core.SearchRequest) (*core.SearchResult, bool, error) {
 	for attempt := 0; ; attempt++ {
 		res, cached, err := c.TrySearchVia(addr, req)
 		var ov *core.OverloadError
-		if !errors.As(err, &ov) || attempt == searchBackoffAttempts-1 {
+		if !errors.As(err, &ov) || attempt == c.searchAttempts-1 {
 			return res, cached, err
 		}
 		hi := ov.RetryAfter << attempt
-		if hi > searchBackoffCap {
-			hi = searchBackoffCap
+		if hi > c.backoffCap {
+			hi = c.backoffCap
 		}
 		// Full jitter above the hint floor: never earlier than the
 		// daemon asked, spread out so shed clients don't re-arrive as
@@ -417,7 +515,7 @@ func (c *Client) SearchTraceVia(addr string, req core.SearchRequest) (*core.Sear
 		}
 		res, _, traceBytes, err := core.DecodeSearchResponseTrace(raw)
 		var ov *core.OverloadError
-		if errors.As(err, &ov) && attempt < searchBackoffAttempts-1 {
+		if errors.As(err, &ov) && attempt < c.searchAttempts-1 {
 			time.Sleep(ov.RetryAfter)
 			continue
 		}

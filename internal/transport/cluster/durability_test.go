@@ -255,8 +255,10 @@ func TestClusterPersistShutdownSealsSnapshot(t *testing.T) {
 		t.Fatalf("%d ops left after graceful shutdown, want 0 (sealed into snapshot)", len(re.Ops()))
 	}
 	snap := re.Snapshot()
-	if len(snap) == 0 || snap[0].Kind != durConfigure {
-		t.Fatalf("snapshot does not lead with the configuration record: %d records", len(snap))
+	// Configuration arrives as a degenerate ingest session now, so the
+	// self-contained snapshot leads with that session's begin record.
+	if len(snap) == 0 || snap[0].Kind != durIngestBegin {
+		t.Fatalf("snapshot does not lead with the ingest-begin (configuration) record: %d records", len(snap))
 	}
 
 	// A fresh server process restores the identical store from it.

@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/durable"
+	"repro/internal/transport"
+)
+
+// shardSource builds the IngestSource a thin client would stream for
+// ring member idx of n: the documents SplitRoundRobin assigns to that
+// member (doc j -> member j%n), with the collection-global vocabulary
+// and frequencies. The iterator yields one document at a time — the
+// test client never needs the shard resident either.
+func shardSource(col *corpus.Collection, cfg core.Config, session uint64, idx, n int) IngestSource {
+	part := col.SplitRoundRobin(n)[idx]
+	i := 0
+	return IngestSource{
+		Session:   session,
+		Config:    cfg,
+		Vocab:     col.Vocab,
+		TermFreqs: col.TermFrequencies(),
+		TotalDocs: col.M(),
+		ShardDocs: part.M(),
+		Docs: func() (corpus.Document, bool) {
+			if i >= len(part.Docs) {
+				return corpus.Document{}, false
+			}
+			d := part.Docs[i]
+			i++
+			return d, true
+		},
+	}
+}
+
+// TestIngestRemoteBuildMatchesInProcess is the tentpole proof: a thin
+// client that never holds the corpus streams each daemon its shard over
+// hdk.ingest, any daemon coordinates the round-synchronous build over
+// hdk.build, and the resulting cluster index matches the in-process
+// single-engine reference — same store totals, same ranked results,
+// same cost metrics. Along the way it checks the resume invariant (a
+// re-sent session ships zero chunks) and the typed ingest guards.
+func TestIngestRemoteBuildMatchesInProcess(t *testing.T) {
+	const peers = 4
+	col := testCollection(t, 120)
+	cfg := testConfig(col, 1)
+	ref := buildReferenceEngine(t, col, peers, cfg)
+
+	tr := transport.NewInProc()
+	defer tr.Close()
+	servers := startInProcServers(t, tr, peers, 1)
+	c, err := Dial(Options{Transport: tr, Seed: servers[0].Addr(), ChunkBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := c.Members()
+
+	for i, m := range members {
+		st, err := c.Ingest(m.Addr(), shardSource(col, cfg, 1, i, len(members)))
+		if err != nil {
+			t.Fatalf("ingest to %s: %v", m.Addr(), err)
+		}
+		if st.Chunks < 2 || st.ChunksSent != st.Chunks || st.ChunksSkipped != 0 {
+			t.Fatalf("fresh ingest to %s: %+v", m.Addr(), st)
+		}
+	}
+
+	// Resume invariant, pre-build: re-running the identical session must
+	// re-ship nothing — the daemon holds every chunk and the digest
+	// negotiation skips them all.
+	st, err := c.Ingest(members[1].Addr(), shardSource(col, cfg, 1, 1, len(members)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksSent != 0 || st.ChunksSkipped != st.Chunks {
+		t.Fatalf("resumed ingest re-shipped chunks: %+v", st)
+	}
+
+	// Any daemon coordinates — pick a non-seed one. Progress must
+	// surface per-round through cluster.info.
+	var lastInfo Info
+	if err := c.BuildRemote(members[2].Addr(), func(info Info) { lastInfo = info }); err != nil {
+		t.Fatalf("remote build: %v", err)
+	}
+	if lastInfo.BuildState != "done" || lastInfo.BuildRound != cfg.SMax {
+		t.Fatalf("final build progress = state %q round %d, want done/%d",
+			lastInfo.BuildState, lastInfo.BuildRound, cfg.SMax)
+	}
+
+	// A repeated start observes the finished build instead of forking a
+	// second one (which would double every df).
+	if err := c.BuildRemote(members[2].Addr(), nil); err != nil {
+		t.Fatalf("idempotent build start: %v", err)
+	}
+
+	// Index content parity with the in-process reference.
+	refStats := ref.Stats()
+	nodeStats, err := c.StoreStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts, keys := 0, 0
+	for _, ns := range nodeStats {
+		posts += ns.Stats.PostsTotal()
+		keys += ns.Stats.KeysTotal()
+	}
+	if posts != refStats.StoredTotal || keys != refStats.KeysTotal {
+		t.Fatalf("remote build stores %d postings/%d keys, reference %d/%d",
+			posts, keys, refStats.StoredTotal, refStats.KeysTotal)
+	}
+
+	// The built cluster refuses further sessions and divergent configs
+	// with errors.Is-matchable rejections.
+	if _, err := c.Ingest(members[0].Addr(), shardSource(col, cfg, 2, 0, len(members))); !errors.Is(err, ErrAlreadyBuilt) {
+		t.Fatalf("ingest into built cluster: err = %v, want ErrAlreadyBuilt", err)
+	}
+	cfg2 := cfg
+	cfg2.DFMax++
+	if err := c.Configure(cfg2); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("divergent configure: err = %v, want ErrConfigMismatch", err)
+	}
+
+	// Ranked-result parity, coordinated by rotating daemons — the thin
+	// client needs no engine to query either.
+	refOrigin := ref.Network().Members()[0]
+	for qi, q := range testQueries(col, 25) {
+		want, err := ref.Search(q, refOrigin, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := c.SearchVia(members[qi%len(members)].Addr(),
+			core.SearchRequest{Terms: ref.QueryTerms(q), K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Results, got.Results) {
+			t.Fatalf("query %d: remote-built index diverges from reference\nref:    %v\nremote: %v",
+				qi, want.Results, got.Results)
+		}
+		if got.FetchedPosts != want.FetchedPosts || got.ProbedKeys != want.ProbedKeys ||
+			got.FoundKeys != want.FoundKeys {
+			t.Fatalf("query %d: cost metrics diverge: ref %+v, remote %+v", qi, want, got)
+		}
+	}
+}
+
+// TestIngestShuffledChunksMatchBulkConfigure is the order-independence
+// property test: feeding a session's chunks in a random permutation
+// must materialize the exact shard the bulk fat-client configure path
+// builds — proven byte-for-byte, per daemon, over the store export RPCs
+// after both clusters run the same build.
+func TestIngestShuffledChunksMatchBulkConfigure(t *testing.T) {
+	const peers = 3
+	col := testCollection(t, 90)
+	cfg := testConfig(col, 1)
+
+	// Cluster A: the fat-client path (bulk configure + client-run build).
+	trA := transport.NewInProc()
+	defer trA.Close()
+	serversA := startInProcServers(t, trA, peers, 1)
+	cA, err := Connect(trA, serversA[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildClusterEngine(t, cA, col, cfg)
+
+	// Cluster B: identical member addresses on its own transport (so
+	// ring placement is identical), shards delivered as hand-shuffled
+	// chunk frames, build coordinated by a daemon.
+	trB := transport.NewInProc()
+	defer trB.Close()
+	serversB := startInProcServers(t, trB, peers, 1)
+	cB, err := Dial(Options{Transport: trB, Seed: serversB[0].Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	membersB := cB.Members()
+	byAddrB := make(map[string]*Server)
+	for _, s := range serversB {
+		byAddrB[s.Addr()] = s
+	}
+	rng := rand.New(rand.NewSource(41))
+	for i, m := range membersB {
+		srv := byAddrB[m.Addr()]
+		src := shardSource(col, cfg, 3, i, len(membersB))
+		gen := &chunkGen{src: src, target: 2 << 10}
+		var chunks [][]byte
+		var digests []uint64
+		for {
+			p, ok := gen.next()
+			if !ok {
+				break
+			}
+			chunks = append(chunks, p)
+			digests = append(digests, chunkDigest(p))
+		}
+		if len(chunks) < 3 {
+			t.Fatalf("shard %d packs into %d chunks — too few to shuffle meaningfully", i, len(chunks))
+		}
+		begin := ingestBegin{
+			Session: 3, Config: cfgJSON,
+			TotalDocs: uint64(src.TotalDocs), ShardDocs: uint64(src.ShardDocs),
+			VocabSize: uint64(len(src.Vocab)), ChunkBytes: 2 << 10,
+		}
+		if _, err := srv.handleIngest(encodeIngestBegin(begin)); err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range rng.Perm(len(chunks)) {
+			frame := encodeIngestChunk(ingestChunk{Session: 3, Seq: uint64(j), Payload: chunks[j]})
+			if _, err := srv.handleIngest(frame); err != nil {
+				t.Fatalf("shuffled chunk %d to %s: %v", j, m.Addr(), err)
+			}
+		}
+		commit := ingestCommit{Session: 3, Chunks: uint64(len(chunks)), Digest: sessionDigest(digests)}
+		if _, err := srv.handleIngest(encodeIngestCommit(commit)); err != nil {
+			t.Fatalf("commit to %s: %v", m.Addr(), err)
+		}
+	}
+	if err := cB.BuildRemote(membersB[0].Addr(), nil); err != nil {
+		t.Fatalf("remote build over shuffled ingest: %v", err)
+	}
+
+	// Byte identity, daemon by daemon: same key sets, same exported
+	// entry blobs.
+	invA := core.RemoteInventory{Call: cA.CallService}
+	invB := core.RemoteInventory{Call: cB.CallService}
+	membersA := cA.Members()
+	if len(membersA) != len(membersB) {
+		t.Fatalf("membership sizes diverge: %d vs %d", len(membersA), len(membersB))
+	}
+	total := 0
+	for k := range membersA {
+		keysA := invA.Keys(membersA[k])
+		keysB := invB.Keys(membersB[k])
+		sort.Strings(keysA)
+		sort.Strings(keysB)
+		if !reflect.DeepEqual(keysA, keysB) {
+			t.Fatalf("daemon %s: key sets diverge (%d vs %d keys)",
+				membersA[k].Addr(), len(keysA), len(keysB))
+		}
+		for _, key := range keysA {
+			blobA, okA := invA.Export(membersA[k], key)
+			blobB, okB := invB.Export(membersB[k], key)
+			if !okA || !okB || !bytes.Equal(blobA, blobB) {
+				t.Fatalf("daemon %s key %q: exported entries diverge (okA=%v okB=%v, %d vs %d bytes)",
+					membersA[k].Addr(), key, okA, okB, len(blobA), len(blobB))
+			}
+		}
+		total += len(keysA)
+	}
+	if total == 0 {
+		t.Fatal("no keys compared — build produced an empty index")
+	}
+}
+
+// TestIngestDurableResumeSkipsAckedChunks covers the crash-resume half
+// of the resume invariant in-process: a session interrupted after a few
+// acked chunks, a daemon restarted from its durable dir, and a resumed
+// upload that ships only the missing tail — then commits, builds and
+// serves. (The SIGKILL variant over real sockets lives in the TCP e2e.)
+func TestIngestDurableResumeSkipsAckedChunks(t *testing.T) {
+	col := testCollection(t, 60)
+	cfg := testConfig(col, 1)
+	dir := t.TempDir()
+	const session, target = 9, 2 << 10
+
+	tr := transport.NewInProc()
+	srv, err := NewServer(tr, "node-0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := durable.Open(filepath.Join(dir, "n0"), durable.Options{Fsync: durable.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.EnableDurability(d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-feed begin + the first 3 chunks, then "crash" the daemon
+	// (transport yanked, durable dir left behind).
+	src := shardSource(col, cfg, session, 0, 1)
+	gen := &chunkGen{src: src, target: target}
+	var chunks [][]byte
+	for {
+		p, ok := gen.next()
+		if !ok {
+			break
+		}
+		chunks = append(chunks, p)
+	}
+	const held = 3
+	if len(chunks) <= held {
+		t.Fatalf("shard packs into %d chunks, need > %d", len(chunks), held)
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	begin := ingestBegin{
+		Session: session, Config: cfgJSON,
+		TotalDocs: uint64(src.TotalDocs), ShardDocs: uint64(src.ShardDocs),
+		VocabSize: uint64(len(src.Vocab)), ChunkBytes: target,
+	}
+	if _, err := srv.handleIngest(encodeIngestBegin(begin)); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < held; j++ {
+		frame := encodeIngestChunk(ingestChunk{Session: session, Seq: uint64(j), Payload: chunks[j]})
+		if _, err := srv.handleIngest(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the data dir; the replayed session must report the
+	// held chunks at begin and pull only the missing tail.
+	tr2 := transport.NewInProc()
+	defer tr2.Close()
+	srv2, err := NewServer(tr2, "node-0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := durable.Open(filepath.Join(dir, "n0"), durable.Options{Fsync: durable.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.EnableDurability(re); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(Options{Transport: tr2, Seed: "node-0", ChunkBytes: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Ingest("node-0", shardSource(col, cfg, session, 0, 1))
+	if err != nil {
+		t.Fatalf("resumed ingest: %v", err)
+	}
+	if st.ChunksSkipped != held || st.ChunksSent != st.Chunks-held {
+		t.Fatalf("resume re-shipped acked chunks: %+v (want %d skipped)", st, held)
+	}
+	if err := c.BuildRemote("node-0", nil); err != nil {
+		t.Fatalf("build after resumed ingest: %v", err)
+	}
+	info, err := FetchInfo(tr2, "node-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Keys == 0 || info.BuildState != "done" {
+		t.Fatalf("post-resume build info = %+v", info)
+	}
+}
+
+// TestConfigureStillDegenerateIngest pins the consolidation: the
+// legacy bulk configure path is now a zero-chunk ingest session, so a
+// durable daemon's snapshot replays it through the same records and a
+// matching re-configure stays idempotent.
+func TestConfigureStillDegenerateIngest(t *testing.T) {
+	col := testCollection(t, 40)
+	cfg := testConfig(col, 1)
+	tr := transport.NewInProc()
+	defer tr.Close()
+	if _, err := NewServer(tr, "node-0", 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(Options{Transport: tr, Seed: "node-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.Configure(cfg); err != nil {
+			t.Fatalf("configure pass %d: %v", i, err)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Window++
+	err = c.Configure(cfg2)
+	if !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("divergent re-configure: err = %v, want ErrConfigMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "node-0") {
+		t.Fatalf("typed configure error does not name the daemon: %v", err)
+	}
+}

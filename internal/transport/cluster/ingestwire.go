@@ -1,0 +1,474 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"hash/fnv"
+
+	"repro/internal/corpus"
+)
+
+// Wire codecs for the streamed build services. hdk.ingest moves one
+// daemon's corpus shard over a chunked, resumable session (versioned
+// frames, CRC'd chunks, swarm-style offer/want digest negotiation);
+// hdk.build drives the round-synchronous collaborative build on the
+// daemons themselves. Frames are deliberately self-describing and every
+// decoder validates all lengths against the remaining input — corrupt
+// frames return errCorruptFrame, never panic (see ingestwire_test.go's
+// corruption sweeps).
+
+// Streamed-build service names served by every cluster daemon.
+const (
+	// SvcIngest accepts corpus-shard upload frames (begin, offer,
+	// chunk, commit).
+	SvcIngest = "hdk.ingest"
+	// SvcBuild accepts build-orchestration frames (start, round,
+	// roundStatus, finish).
+	SvcBuild = "hdk.build"
+)
+
+// ingestVersion is the ingest protocol version carried by every begin
+// frame; a daemon rejects sessions it does not speak.
+const ingestVersion = 1
+
+// hdk.ingest frame kinds (first payload byte).
+const (
+	ingestFrameBegin  = 0x01 // open or resume a session
+	ingestFrameOffer  = 0x02 // advertise a window of chunk digests
+	ingestFrameChunk  = 0x03 // ship one CRC'd chunk
+	ingestFrameCommit = 0x04 // close the session and materialize
+)
+
+// hdk.build frame kinds (first payload byte).
+const (
+	buildFrameStart       = 0x01 // client → coordinator: run the whole build
+	buildFrameRound       = 0x02 // coordinator → daemon: start round s on your shard
+	buildFrameRoundStatus = 0x03 // coordinator → daemon: poll round s
+	buildFrameFinish      = 0x04 // coordinator → daemon: build epilogue
+)
+
+// Configure/begin response statuses. The rejection is a transport-level
+// SUCCESS frame decoded client-side into a typed error (like the
+// overload rejection): a handler error would cross the wire as an
+// opaque string, and these two must stay errors.Is-matchable.
+const (
+	cfgStatusOK           = 0x00
+	cfgStatusAlreadyBuilt = 0x01
+	cfgStatusMismatch     = 0x02
+)
+
+// Chunk payload content kinds (first byte of a chunk payload). Every
+// chunk is self-contained and order-independent: meta chunks carry a
+// vocabulary range, doc chunks carry whole documents with global ids,
+// so a session reassembles identically from any arrival order.
+const (
+	chunkKindMeta = 0x01 // vocabulary terms + collection frequencies
+	chunkKindDocs = 0x02 // whole documents
+)
+
+// errCorruptFrame is returned for malformed streamed-build frames.
+var errCorruptFrame = errors.New("cluster: corrupt ingest frame")
+
+// chunkDigest is the content digest the offer/want negotiation and the
+// session commit digest are built from (FNV-1a 64 over the payload).
+func chunkDigest(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// sessionDigest folds the per-chunk digests, in sequence order, into the
+// commit digest: a completeness check over the exact bytes the daemon
+// holds.
+func sessionDigest(digests []uint64) uint64 {
+	h := fnv.New64a()
+	var cell [8]byte
+	for _, d := range digests {
+		binary.LittleEndian.PutUint64(cell[:], d)
+		h.Write(cell[:])
+	}
+	return h.Sum64()
+}
+
+// wireReader is a bounds-checked sequential decoder: any overrun flips
+// bad and every subsequent read returns zero values, so frame decoders
+// validate once at the end instead of after every field.
+type wireReader struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) byte() byte {
+	if r.bad || r.off >= len(r.buf) {
+		r.bad = true
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// take returns the next n bytes without copying. The declared n has
+// already been read from the frame, so an n beyond the remaining input
+// marks the frame corrupt.
+func (r *wireReader) take(n uint64) []byte {
+	if r.bad || n > uint64(len(r.buf)-r.off) {
+		r.bad = true
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+func (r *wireReader) rest() []byte {
+	if r.bad {
+		return nil
+	}
+	b := r.buf[r.off:]
+	r.off = len(r.buf)
+	return b
+}
+
+// done reports a clean, fully consumed frame.
+func (r *wireReader) done() bool { return !r.bad && r.off == len(r.buf) }
+
+// ingestBegin opens (or, re-sent with the same session id, resumes) one
+// corpus-shard upload session.
+type ingestBegin struct {
+	Session    uint64 // client-chosen id; a resumed session reuses it
+	Config     []byte // engine configuration JSON (the configure payload)
+	TotalDocs  uint64 // corpus-wide document count (progress reporting)
+	ShardDocs  uint64 // documents in THIS daemon's shard
+	VocabSize  uint64
+	ChunkBytes uint64 // chunking target; a resume must reuse it or digests diverge
+}
+
+func encodeIngestBegin(b ingestBegin) []byte {
+	buf := []byte{ingestFrameBegin, ingestVersion}
+	buf = binary.AppendUvarint(buf, b.Session)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Config)))
+	buf = append(buf, b.Config...)
+	buf = binary.AppendUvarint(buf, b.TotalDocs)
+	buf = binary.AppendUvarint(buf, b.ShardDocs)
+	buf = binary.AppendUvarint(buf, b.VocabSize)
+	return binary.AppendUvarint(buf, b.ChunkBytes)
+}
+
+// decodeIngestBegin parses a begin frame body (frame byte already
+// consumed by the dispatcher).
+func decodeIngestBegin(body []byte) (ingestBegin, error) {
+	r := &wireReader{buf: body}
+	if r.byte() != ingestVersion {
+		return ingestBegin{}, errCorruptFrame
+	}
+	var b ingestBegin
+	b.Session = r.uvarint()
+	b.Config = append([]byte(nil), r.take(r.uvarint())...)
+	b.TotalDocs = r.uvarint()
+	b.ShardDocs = r.uvarint()
+	b.VocabSize = r.uvarint()
+	b.ChunkBytes = r.uvarint()
+	if !r.done() {
+		return ingestBegin{}, errCorruptFrame
+	}
+	return b, nil
+}
+
+// begin response: configure status byte + uvarint count of chunks the
+// daemon already holds durably for this session (zero on a fresh one).
+func encodeIngestBeginResp(status byte, held uint64) []byte {
+	return binary.AppendUvarint([]byte{status}, held)
+}
+
+func decodeIngestBeginResp(resp []byte) (status byte, held uint64, err error) {
+	r := &wireReader{buf: resp}
+	status = r.byte()
+	held = r.uvarint()
+	if !r.done() {
+		return 0, 0, errCorruptFrame
+	}
+	return status, held, nil
+}
+
+// ingestOffer advertises one window of upcoming chunks by digest:
+// Digests[i] belongs to sequence number FirstSeq+i.
+type ingestOffer struct {
+	Session  uint64
+	FirstSeq uint64
+	Digests  []uint64
+}
+
+func encodeIngestOffer(o ingestOffer) []byte {
+	buf := []byte{ingestFrameOffer}
+	buf = binary.AppendUvarint(buf, o.Session)
+	buf = binary.AppendUvarint(buf, o.FirstSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(o.Digests)))
+	for _, d := range o.Digests {
+		buf = binary.AppendUvarint(buf, d)
+	}
+	return buf
+}
+
+func decodeIngestOffer(body []byte) (ingestOffer, error) {
+	r := &wireReader{buf: body}
+	var o ingestOffer
+	o.Session = r.uvarint()
+	o.FirstSeq = r.uvarint()
+	n := r.uvarint()
+	// Every digest costs at least one byte, so a count beyond the
+	// remaining input is corrupt — and cannot buy a large allocation.
+	if r.bad || n > uint64(len(body)-r.off) {
+		return ingestOffer{}, errCorruptFrame
+	}
+	o.Digests = make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		o.Digests = append(o.Digests, r.uvarint())
+	}
+	if !r.done() {
+		return ingestOffer{}, errCorruptFrame
+	}
+	return o, nil
+}
+
+// offer response: the sequence numbers the daemon wants (it lacks them,
+// or holds different bytes — the latter is rejected at chunk time).
+func encodeIngestWants(wants []uint64) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(wants)))
+	for _, s := range wants {
+		buf = binary.AppendUvarint(buf, s)
+	}
+	return buf
+}
+
+func decodeIngestWants(resp []byte) ([]uint64, error) {
+	r := &wireReader{buf: resp}
+	n := r.uvarint()
+	if r.bad || n > uint64(len(resp)-r.off) {
+		return nil, errCorruptFrame
+	}
+	wants := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		wants = append(wants, r.uvarint())
+	}
+	if !r.done() {
+		return nil, errCorruptFrame
+	}
+	return wants, nil
+}
+
+// ingestChunk ships one chunk. The CRC covers the payload; an
+// acknowledged chunk is durably held (with fsync=always it survives
+// SIGKILL), which is what makes "acked chunks are never re-shipped"
+// a resume invariant rather than a hope.
+type ingestChunk struct {
+	Session uint64
+	Seq     uint64
+	Payload []byte
+}
+
+func encodeIngestChunk(c ingestChunk) []byte {
+	buf := []byte{ingestFrameChunk}
+	buf = binary.AppendUvarint(buf, c.Session)
+	buf = binary.AppendUvarint(buf, c.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(c.Payload))
+	return append(buf, c.Payload...)
+}
+
+func decodeIngestChunk(body []byte) (ingestChunk, error) {
+	r := &wireReader{buf: body}
+	var c ingestChunk
+	c.Session = r.uvarint()
+	c.Seq = r.uvarint()
+	crcBytes := r.take(4)
+	c.Payload = r.rest()
+	if r.bad {
+		return ingestChunk{}, errCorruptFrame
+	}
+	if crc32.ChecksumIEEE(c.Payload) != binary.LittleEndian.Uint32(crcBytes) {
+		return ingestChunk{}, errCorruptFrame
+	}
+	return c, nil
+}
+
+// ingestCommit closes a session: the daemon verifies it holds exactly
+// Chunks chunks whose digests fold to Digest, then materializes the
+// shard (and, on the degenerate configure-only session, just the store).
+type ingestCommit struct {
+	Session uint64
+	Chunks  uint64
+	Digest  uint64
+}
+
+func encodeIngestCommit(c ingestCommit) []byte {
+	buf := []byte{ingestFrameCommit}
+	buf = binary.AppendUvarint(buf, c.Session)
+	buf = binary.AppendUvarint(buf, c.Chunks)
+	return binary.AppendUvarint(buf, c.Digest)
+}
+
+func decodeIngestCommit(body []byte) (ingestCommit, error) {
+	r := &wireReader{buf: body}
+	var c ingestCommit
+	c.Session = r.uvarint()
+	c.Chunks = r.uvarint()
+	c.Digest = r.uvarint()
+	if !r.done() {
+		return ingestCommit{}, errCorruptFrame
+	}
+	return c, nil
+}
+
+// --- chunk payload contents ---------------------------------------------
+
+// encodeMetaChunk frames one vocabulary range [firstTerm, firstTerm+len):
+// per term, its string and collection frequency.
+func encodeMetaChunk(firstTerm int, terms []string, freqs []int) []byte {
+	buf := []byte{chunkKindMeta}
+	buf = binary.AppendUvarint(buf, uint64(firstTerm))
+	buf = binary.AppendUvarint(buf, uint64(len(terms)))
+	for i, t := range terms {
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		buf = append(buf, t...)
+		buf = binary.AppendUvarint(buf, uint64(freqs[i]))
+	}
+	return buf
+}
+
+// decodeMetaChunk installs a vocabulary range into vocab/freqs (both
+// sized to the session's VocabSize by the caller).
+func decodeMetaChunk(body []byte, vocab []string, freqs []int) error {
+	r := &wireReader{buf: body}
+	first := r.uvarint()
+	n := r.uvarint()
+	if r.bad || n > uint64(len(body)-r.off) || first+n > uint64(len(vocab)) {
+		return errCorruptFrame
+	}
+	for i := uint64(0); i < n; i++ {
+		term := r.take(r.uvarint())
+		f := r.uvarint()
+		if r.bad {
+			return errCorruptFrame
+		}
+		vocab[first+i] = string(term)
+		freqs[first+i] = int(f)
+	}
+	if !r.done() {
+		return errCorruptFrame
+	}
+	return nil
+}
+
+// encodeDocsChunkDoc appends one document to a docs chunk under
+// construction (the chunk starts as []byte{chunkKindDocs, 0} — the
+// count is fixed up by finishDocsChunk... no: counts are uvarint). To
+// keep encoding single-pass the docs chunk carries documents
+// back-to-back with a trailing sentinel-free format: each document is
+// [uvarint id][uvarint nterms][terms...], and decoding consumes until
+// the chunk is exhausted.
+func encodeDocsChunkDoc(buf []byte, d corpus.Document) []byte {
+	buf = binary.AppendUvarint(buf, uint64(d.ID))
+	buf = binary.AppendUvarint(buf, uint64(len(d.Terms)))
+	for _, t := range d.Terms {
+		buf = binary.AppendUvarint(buf, uint64(t))
+	}
+	return buf
+}
+
+// newDocsChunk starts an empty docs chunk payload.
+func newDocsChunk() []byte { return []byte{chunkKindDocs} }
+
+// decodeDocsChunk appends the chunk's documents to docs, validating
+// every term id against vocabSize.
+func decodeDocsChunk(body []byte, vocabSize uint64, docs []corpus.Document) ([]corpus.Document, error) {
+	r := &wireReader{buf: body}
+	for !r.bad && r.off < len(r.buf) {
+		id := r.uvarint()
+		n := r.uvarint()
+		// A term costs at least one byte.
+		if r.bad || n > uint64(len(body)-r.off) {
+			return nil, errCorruptFrame
+		}
+		terms := make([]corpus.TermID, 0, n)
+		for i := uint64(0); i < n; i++ {
+			t := r.uvarint()
+			if t >= vocabSize {
+				return nil, errCorruptFrame
+			}
+			terms = append(terms, corpus.TermID(t))
+		}
+		if r.bad {
+			return nil, errCorruptFrame
+		}
+		docs = append(docs, corpus.Document{ID: corpus.DocID(id), Terms: terms})
+	}
+	if !r.done() {
+		return nil, errCorruptFrame
+	}
+	return docs, nil
+}
+
+// --- hdk.build frames ----------------------------------------------------
+
+// Build round states, as reported by buildFrameRoundStatus responses and
+// the coordinator's cluster.info build_state field.
+const (
+	buildIdle    = 0x00
+	buildRunning = 0x01
+	buildDone    = 0x02
+	buildFailed  = 0x03
+)
+
+func encodeBuildStart() []byte { return []byte{buildFrameStart} }
+
+func encodeBuildRound(size int) []byte {
+	return binary.AppendUvarint([]byte{buildFrameRound}, uint64(size))
+}
+
+func encodeBuildRoundStatus(size int) []byte {
+	return binary.AppendUvarint([]byte{buildFrameRoundStatus}, uint64(size))
+}
+
+func encodeBuildFinish() []byte { return []byte{buildFrameFinish} }
+
+func decodeBuildSize(body []byte) (int, error) {
+	r := &wireReader{buf: body}
+	size := r.uvarint()
+	if !r.done() || size < 1 {
+		return 0, errCorruptFrame
+	}
+	return int(size), nil
+}
+
+// round status response: state byte, postings inserted, error string.
+func encodeRoundStatusResp(state byte, inserted uint64, errMsg string) []byte {
+	buf := binary.AppendUvarint([]byte{state}, inserted)
+	buf = binary.AppendUvarint(buf, uint64(len(errMsg)))
+	return append(buf, errMsg...)
+}
+
+func decodeRoundStatusResp(resp []byte) (state byte, inserted uint64, errMsg string, err error) {
+	r := &wireReader{buf: resp}
+	state = r.byte()
+	inserted = r.uvarint()
+	msg := r.take(r.uvarint())
+	if !r.done() || state > buildFailed {
+		return 0, 0, "", errCorruptFrame
+	}
+	return state, inserted, string(msg), nil
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/durable"
 	"repro/internal/overlay"
 	"repro/internal/replica"
@@ -81,6 +82,17 @@ type Server struct {
 	dur        *durable.Store
 	warm       bool // store state was restored from disk at startup
 	catchUp    replica.CatchUpStats
+
+	// Streamed-build state (guarded by mu): the current hdk.ingest
+	// session — nil until a begin arrives or durable replay restores one
+	// — and the corpus shard it materialized at commit, with the global
+	// term frequencies the build engine's Ff cutoff needs.
+	ingest     *ingestSession
+	shard      *corpus.Collection
+	shardFreqs []int
+
+	// build is the hdk.build state machine (own lock; see build.go).
+	build serverBuild
 
 	// Query coordination state (the hdk.search serving path): a cached
 	// client fabric over this daemon's own membership view, a worker
@@ -169,6 +181,19 @@ type Info struct {
 	// coordinations waiting for a worker slot (0 on an idle or
 	// keeping-up daemon; at most the configured -search-queue).
 	SearchQueueDepth int `json:"search_queue_depth"`
+	// IngestChunks/IngestDocs report the streamed-build upload state:
+	// chunks durably held for the current hdk.ingest session, and
+	// documents in the materialized corpus shard (0 until the session
+	// commits).
+	IngestChunks int `json:"ingest_chunks"`
+	IngestDocs   int `json:"ingest_docs"`
+	// BuildState/BuildRound/BuildError surface hdk.build progress:
+	// "idle", "running", "done" or "failed" — the coordinator's state
+	// machine on the daemon driving the build, the worker view elsewhere
+	// — with the latest round in flight and the first failure message.
+	BuildState string `json:"build_state"`
+	BuildRound int    `json:"build_round"`
+	BuildError string `json:"build_error,omitempty"`
 }
 
 // NewServer binds a daemon on the transport (pass "127.0.0.1:0" for an
@@ -315,6 +340,15 @@ func (s *Server) EnableDurability(d *durable.Store) error {
 		if rec.Kind == durConfigure {
 			if err := s.configureLocked(rec.Payload); err != nil {
 				return fmt.Errorf("cluster: %s: replay configure: %w", s.addr, err)
+			}
+			continue
+		}
+		if rec.Kind == durIngestBegin || rec.Kind == durIngestChunk || rec.Kind == durIngestCommit {
+			// Ingest records restore the upload session — configuration,
+			// acked chunks, the materialized shard if it committed — so a
+			// SIGKILLed daemon resumes exactly where its last ack left it.
+			if err := s.replayIngestRecord(rec.Kind, rec.Payload); err != nil {
+				return fmt.Errorf("cluster: %s: replay %s record: %w", s.addr, rec.Kind, err)
 			}
 			continue
 		}
@@ -502,6 +536,10 @@ func (s *Server) dispatch(req []byte) ([]byte, error) {
 		return nil, nil
 	case core.SvcSearch:
 		return s.handleSearch(payload)
+	case SvcIngest:
+		return s.handleIngest(payload)
+	case SvcBuild:
+		return s.handleBuild(payload)
 	}
 	s.smu.RLock()
 	h, ok := s.services[service]
@@ -547,7 +585,16 @@ func (s *Server) handleInfo() ([]byte, error) {
 	if s.store != nil {
 		info.Keys = s.store.KeyCount()
 	}
+	if s.ingest != nil {
+		info.IngestChunks = len(s.ingest.chunks)
+	}
+	if s.shard != nil {
+		info.IngestDocs = len(s.shard.Docs)
+	}
 	s.mu.Unlock()
+	// Outside mu: buildProgress takes the build lock, which nests the
+	// other way around (buildEngine acquires build.mu then mu).
+	info.BuildState, info.BuildRound, info.BuildError = s.buildProgress()
 	info.SearchCacheHits = s.metrics.cacheHits.Value()
 	info.SearchCacheMisses = s.metrics.cacheMisses.Value()
 	info.SearchRejected = s.metrics.searchShed.Value()
@@ -703,55 +750,37 @@ func (s *Server) coordinationFabric() (*Client, overlay.Member, error) {
 }
 
 // handleConfigure creates the store server from the client's engine
-// configuration. Idempotent: re-sending the identical configuration is
-// accepted (a client re-connecting, or a configure broadcast racing a
-// retry); a different one is rejected — reconfiguring a live store would
-// silently reclassify the index. With durability enabled the exact
-// payload is appended to the op log, so a warm restart recreates the
-// store before replaying its mutations — and a RESTORED daemon applies
-// the same idempotency rules: the configuring client of a rebuilt
-// cluster is told the index already exists instead of re-inserting into
-// it.
+// configuration, as a DEGENERATE hdk.ingest session: session id 0,
+// configuration only, zero chunks, committed immediately. The ingest
+// begin path is therefore the single place deciding whether
+// (re)configuration is admissible — re-sending the identical
+// configuration during bootstrap is accepted, a different one is
+// rejected with a config-mismatch status, and a populated store rejects
+// with already-built (re-running BuildIndex against it would double
+// document frequencies and silently flip HDKs to NDKs). Rejections ride
+// the response as a status byte, which the client rehydrates into
+// ErrConfigMismatch / ErrAlreadyBuilt. With durability enabled the
+// session records hit the op log before the store serves (log-first),
+// so a warm restart recreates the store before replaying its mutations.
 func (s *Server) handleConfigure(payload []byte) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.store != nil {
-		if !bytes.Equal(s.configJSON, payload) {
-			return nil, fmt.Errorf("cluster: %s already configured differently", s.addr)
-		}
-		if s.store.Populated() {
-			// A second client re-sending the (deterministically
-			// identical) configuration is about to re-run BuildIndex
-			// against stores that already hold the corpus — inserts are
-			// additive (df would double and flip HDKs to NDKs), so this
-			// must fail loudly, not silently corrupt the index.
-			return nil, fmt.Errorf("cluster: %s already holds a built index; restart the daemons to rebuild", s.addr)
-		}
-		return nil, nil // idempotent re-send during bootstrap
+	if s.store != nil && bytes.Equal(s.configJSON, payload) && !s.store.Populated() {
+		return []byte{cfgStatusOK}, nil // idempotent re-send during bootstrap
 	}
-	// Log-first: the configure record must be durable BEFORE the store
-	// exists and starts serving (and logging) mutations. The other order
-	// has a window where an Append failure leaves a serving store whose
-	// op log opens with an insert record — a data dir no restart can
-	// load, and one the idempotent re-send path would never heal. The
-	// payload is validated up front so the post-append store creation
-	// cannot fail and orphan the logged record.
-	var cfg core.Config
-	if err := json.Unmarshal(payload, &cfg); err != nil {
-		return nil, fmt.Errorf("cluster: bad configuration: %w", err)
-	}
-	if err := cfg.Validate(); err != nil {
+	b := ingestBegin{Session: 0, Config: payload}
+	status, _, err := s.ingestBeginLocked(b, encodeIngestBegin(b)[1:], true)
+	if err != nil {
 		return nil, err
 	}
-	if s.dur != nil {
-		if err := s.dur.Append(durConfigure, payload); err != nil {
-			return nil, fmt.Errorf("cluster: %s: persist configuration: %w", s.addr, err)
-		}
+	if status != cfgStatusOK {
+		return []byte{status}, nil
 	}
-	if err := s.configureLocked(payload); err != nil {
+	commit := ingestCommit{Session: 0, Chunks: 0, Digest: sessionDigest(nil)}
+	if err := s.ingestCommitLocked(commit, encodeIngestCommit(commit)[1:], true); err != nil {
 		return nil, err
 	}
-	return nil, nil
+	return []byte{cfgStatusOK}, nil
 }
 
 // configureLocked creates and attaches the store server from a
@@ -780,12 +809,36 @@ func (s *Server) configureLocked(payload []byte) error {
 }
 
 // durableHeader contributes the configuration record at the head of
-// every compacted snapshot, keeping each generation self-contained.
+// every compacted snapshot, keeping each generation self-contained. A
+// daemon holding an ingest session re-emits the whole session — begin,
+// every acked chunk, commit — so op-log truncation can never drop the
+// corpus shard (needed by hdk.build and resume negotiation) out from
+// under the index entries that follow it. The records are staged under
+// mu and emitted outside it: emit writes through the durable store,
+// whose locks must never nest inside mu.
 func (s *Server) durableHeader(emit func(kind string, payload []byte) error) error {
+	type headerRec struct {
+		kind    string
+		payload []byte
+	}
+	var recs []headerRec
+	stage := func(kind string, payload []byte) error {
+		recs = append(recs, headerRec{kind, payload})
+		return nil
+	}
 	s.mu.Lock()
-	payload := append([]byte(nil), s.configJSON...)
+	if s.ingest != nil {
+		s.ingestHeaderLocked(stage)
+	} else {
+		stage(durConfigure, append([]byte(nil), s.configJSON...))
+	}
 	s.mu.Unlock()
-	return emit(durConfigure, payload)
+	for _, r := range recs {
+		if err := emit(r.kind, r.payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Store returns the daemon's store server (nil before configuration).

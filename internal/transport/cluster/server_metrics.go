@@ -26,23 +26,32 @@ type serverMetrics struct {
 	cacheMisses *telemetry.Counter // query-result cache misses
 	slowQueries *telemetry.Counter // coordinations over the slow-query threshold
 
-	admissionWait *telemetry.Histogram // wait for a worker slot, admitted requests only
-	coordination  *telemetry.Histogram // fresh coordination latency (cache hits excluded)
+	ingestChunks *telemetry.Counter // hdk.ingest chunks durably accepted
+	ingestBytes  *telemetry.Counter // hdk.ingest chunk payload bytes accepted
+	buildRounds  *telemetry.Counter // hdk.build per-shard rounds completed
+
+	admissionWait  *telemetry.Histogram // wait for a worker slot, admitted requests only
+	coordination   *telemetry.Histogram // fresh coordination latency (cache hits excluded)
+	buildRoundTime *telemetry.Histogram // coordinator-observed wall time per build round
 }
 
 func newServerMetrics() *serverMetrics {
 	reg := telemetry.NewRegistry()
 	return &serverMetrics{
-		reg:           reg,
-		insertRPCs:    reg.Counter("hdk_insert_rpcs_total"),
-		fetchRPCs:     reg.Counter("hdk_fetch_rpcs_total"),
-		searchRPCs:    reg.Counter("hdk_search_rpcs_total"),
-		searchShed:    reg.Counter("hdk_search_shed_total"),
-		cacheHits:     reg.Counter("hdk_search_cache_hits_total"),
-		cacheMisses:   reg.Counter("hdk_search_cache_misses_total"),
-		slowQueries:   reg.Counter("hdk_search_slow_total"),
-		admissionWait: reg.Histogram("hdk_search_admission_wait_nanoseconds"),
-		coordination:  reg.Histogram("hdk_search_coordination_nanoseconds"),
+		reg:            reg,
+		insertRPCs:     reg.Counter("hdk_insert_rpcs_total"),
+		fetchRPCs:      reg.Counter("hdk_fetch_rpcs_total"),
+		searchRPCs:     reg.Counter("hdk_search_rpcs_total"),
+		searchShed:     reg.Counter("hdk_search_shed_total"),
+		cacheHits:      reg.Counter("hdk_search_cache_hits_total"),
+		cacheMisses:    reg.Counter("hdk_search_cache_misses_total"),
+		slowQueries:    reg.Counter("hdk_search_slow_total"),
+		ingestChunks:   reg.Counter("hdk_ingest_chunks_total"),
+		ingestBytes:    reg.Counter("hdk_ingest_bytes_total"),
+		buildRounds:    reg.Counter("hdk_build_rounds_total"),
+		admissionWait:  reg.Histogram("hdk_search_admission_wait_nanoseconds"),
+		coordination:   reg.Histogram("hdk_search_coordination_nanoseconds"),
+		buildRoundTime: reg.Histogram("hdk_build_round_nanoseconds"),
 	}
 }
 

@@ -24,6 +24,13 @@
 # the daemon is recovered, joined and serving) instead of grepping the
 # log for the banner. Without it, the log-grep fallback applies.
 #
+# With CLUSTER_DATA_ROOT=<dir> in the environment, every daemon runs
+# DURABLY: node i gets its own data directory <dir>/node<port> and
+# -fsync always, so a SIGKILLed daemon restarted from the same root
+# resumes with everything it ever acked — the mode the streamed
+# hdk.ingest resume contract (zero re-shipped acked chunks) assumes.
+# Without it, daemons are memory-only as before.
+#
 # Each daemon logs to ./node<port>.log. If a daemon never becomes
 # ready, the script prints the tail of the offending log and exits 1 —
 # the log name is the first thing a failed CI run needs. All daemons
@@ -31,6 +38,7 @@
 set -u
 
 HTTP_OFFSET="${CLUSTER_HTTP_OFFSET:-}"
+DATA_ROOT="${CLUSTER_DATA_ROOT:-}"
 
 if [ "$#" -lt 5 ]; then
     echo "usage: $0 BIN BASE_PORT COUNT REPLICAS [NODE_ARGS...] -- CMD [ARGS...]" >&2
@@ -71,6 +79,15 @@ http_args() {
     fi
 }
 
+# data_args PORT: the daemon's durability flags when CLUSTER_DATA_ROOT
+# is set (nothing otherwise, keeping daemons memory-only).
+data_args() {
+    if [ -n "$DATA_ROOT" ]; then
+        mkdir -p "$DATA_ROOT/node$1"
+        echo "-data $DATA_ROOT/node$1 -fsync always"
+    fi
+}
+
 # await_ready PORT: with CLUSTER_HTTP_OFFSET, poll the daemon's
 # /healthz endpoint (200 only once recovered, joined and serving);
 # otherwise fall back to grepping the log for the readiness banner. On
@@ -95,8 +112,8 @@ await_ready() {
 # Node 0 boots alone; every further node joins through it. Sequential
 # boot keeps membership convergence deterministic.
 FIRST_PORT=$BASE_PORT
-# shellcheck disable=SC2046 # http_args is intentionally word-split
-"$BIN" -listen "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" $(http_args "$FIRST_PORT") \
+# shellcheck disable=SC2046 # http_args/data_args are intentionally word-split
+"$BIN" -listen "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" $(http_args "$FIRST_PORT") $(data_args "$FIRST_PORT") \
     ${NODE_ARGS[@]+"${NODE_ARGS[@]}"} > "node$FIRST_PORT.log" 2>&1 &
 PIDS+=($!)
 await_ready "$FIRST_PORT" || exit 1
@@ -105,7 +122,7 @@ i=1
 while [ "$i" -lt "$COUNT" ]; do
     port=$((BASE_PORT + i))
     # shellcheck disable=SC2046
-    "$BIN" -listen "127.0.0.1:$port" -join "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" $(http_args "$port") \
+    "$BIN" -listen "127.0.0.1:$port" -join "127.0.0.1:$FIRST_PORT" -replicas "$REPLICAS" $(http_args "$port") $(data_args "$port") \
         ${NODE_ARGS[@]+"${NODE_ARGS[@]}"} > "node$port.log" 2>&1 &
     PIDS+=($!)
     await_ready "$port" || exit 1
