@@ -77,11 +77,14 @@ func buildInfo() (goVersion, revision string) {
 	return
 }
 
+// metricBuildInfo is the conventional constant build-identity gauge.
+const metricBuildInfo = "hdk_build_info"
+
 // registerBuildInfo publishes the build identity as the conventional
 // constant gauge: hdk_build_info{go_version=...,revision=...} 1. Scrapes
 // from mixed-version clusters group by it to see which daemons run what.
 func registerBuildInfo(reg *telemetry.Registry, goVersion, revision string) {
-	reg.Gauge("hdk_build_info",
+	reg.Gauge(metricBuildInfo,
 		telemetry.L("go_version", goVersion),
 		telemetry.L("revision", revision)).Set(1)
 }

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// vetConfig is the JSON cmd/go writes for each compilation unit when
+// driving a -vettool (the x/tools unitchecker wire format; unknown
+// fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one go vet compilation unit. Returns the process
+// exit code: 0 clean, 1 failure, 2 findings (the unitchecker
+// convention cmd/go understands).
+func vetUnit(cfgPath string, analyzers []*analysis.Analyzer, baseline analysis.Baseline) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdkvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hdkvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// hdkvet exports no facts, but cmd/go expects the facts file to
+	// exist for downstream units regardless of what we report.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "hdkvet:", err)
+			return 1
+		}
+	}
+	// Dependency-only pass: nothing to analyze, facts already written.
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Test variants ("pkg [pkg.test]", "pkg_test") are exempt: hdkvet
+	// guards production invariants and test code is free to break them
+	// (inline metric names, deliberate torture inputs, …). The
+	// standalone driver never loads test files either.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "hdkvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if to, ok := cfg.ImportMap[path]; ok {
+			path = to
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg := &analysis.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Info: newTypesInfo()}
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		GoVersion:   cfg.GoVersion,
+		Sizes:       types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Pkg, _ = conf.Check(cfg.ImportPath, fset, files, pkg.Info)
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hdkvet: %s: %v\n", cfg.ImportPath, pkg.TypeErrors[0])
+		return 1
+	}
+
+	findings, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdkvet:", err)
+		return 1
+	}
+	bad := 0
+	for _, f := range findings {
+		if baseline.Covers(f) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+		bad++
+	}
+	if bad > 0 {
+		return 2
+	}
+	return 0
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

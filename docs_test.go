@@ -22,6 +22,11 @@ func internalPackages(t *testing.T) []string {
 		if err != nil || !d.IsDir() {
 			return err
 		}
+		// testdata subtrees are invisible to the Go toolchain (lint
+		// fixtures, fuzz corpora) — not part of the package map.
+		if d.Name() == "testdata" {
+			return filepath.SkipDir
+		}
 		ents, err := os.ReadDir(path)
 		if err != nil {
 			return err

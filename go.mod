@@ -1,3 +1,12 @@
 module repro
 
+// Zero external dependencies, on purpose — including golang.org/x/tools.
+// cmd/hdkvet implements the go/analysis Analyzer/Pass shape and the go
+// vet unitchecker protocol against the standard library alone
+// (internal/lint/analysis: `go list -export` loading + the gc
+// export-data importer), so the analyzers need no pinned x/tools
+// version and the module graph stays empty. If the suite ever
+// outgrows that (SSA-based analyses, cross-package facts), pin
+// golang.org/x/tools here and swap internal/lint/analysis for the real
+// framework — the analyzer bodies are written to its API shape.
 go 1.24

@@ -1,0 +1,13 @@
+package durable
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint/leakcheck"
+)
+
+// Durable-store tests open and close real files; leakcheck catches a
+// store left open (its compactor or fsync path still running) by a
+// failed cleanup.
+func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }

@@ -6,6 +6,16 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Registry series the durability path emits.
+const (
+	metricAppends     = "hdk_durable_appends_total"
+	metricAppendBytes = "hdk_durable_append_bytes_total"
+	metricCompactions = "hdk_durable_compactions_total"
+	metricFsyncNanos  = "hdk_durable_fsync_nanoseconds"
+	metricLogBytes    = "hdk_durable_log_bytes"
+	metricGeneration  = "hdk_durable_generation"
+)
+
 // storeMetrics is the registry view of the durability path: append and
 // compaction counters plus the fsync latency histogram — the one number
 // that decides whether SyncAlways is affordable on a given disk. The
@@ -25,15 +35,15 @@ type storeMetrics struct {
 // Instrument are simply not recorded.
 func (s *Store) Instrument(reg *telemetry.Registry) {
 	m := &storeMetrics{
-		appends:     reg.Counter("hdk_durable_appends_total"),
-		appendBytes: reg.Counter("hdk_durable_append_bytes_total"),
-		compactions: reg.Counter("hdk_durable_compactions_total"),
-		fsyncLat:    reg.Histogram("hdk_durable_fsync_nanoseconds"),
+		appends:     reg.Counter(metricAppends),
+		appendBytes: reg.Counter(metricAppendBytes),
+		compactions: reg.Counter(metricCompactions),
+		fsyncLat:    reg.Histogram(metricFsyncNanos),
 	}
-	reg.GaugeFunc("hdk_durable_log_bytes", func() float64 {
+	reg.GaugeFunc(metricLogBytes, func() float64 {
 		return float64(s.LogBytes())
 	})
-	reg.GaugeFunc("hdk_durable_generation", func() float64 {
+	reg.GaugeFunc(metricGeneration, func() float64 {
 		return float64(s.Generation())
 	})
 	s.metrics.Store(m)

@@ -1,0 +1,47 @@
+// Package fuzzcorpus regenerates the committed seed corpora for the
+// repo's native Go fuzz targets. Each codec package keeps its seed
+// inputs in one function shared by the fuzz target (f.Add) and a
+// regeneration test that calls Write; the resulting
+// testdata/fuzz/<FuzzName>/ files are committed so `go test -fuzz` and
+// the CI fuzz smoke start from known-interesting inputs instead of
+// empty byte slices.
+//
+// Regenerate with:
+//
+//	HDK_WRITE_FUZZ_CORPUS=1 go test ./... -run TestWriteFuzzCorpus
+package fuzzcorpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// EnvVar gates corpus regeneration; the writer tests skip unless it is
+// set, so a plain `go test ./...` never rewrites committed files.
+const EnvVar = "HDK_WRITE_FUZZ_CORPUS"
+
+// Enabled reports whether corpus regeneration was requested.
+func Enabled() bool { return os.Getenv(EnvVar) != "" }
+
+// Write rewrites testdata/fuzz/<fuzzName>/ (relative to the calling
+// test's package directory) with one seed file per input, in the
+// standard `go test fuzz v1` encoding for a single []byte argument.
+func Write(fuzzName string, seeds [][]byte) error {
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, seed := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkPkg type-checks a dependency-free source string into a Package.
+func checkPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Info: newInfo()}
+	conf := types.Config{Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) }}
+	pkg.Pkg, _ = conf.Check("p", fset, pkg.Files, pkg.Info)
+	return pkg
+}
+
+// makeReporter flags every make call — a minimal analyzer to exercise
+// the driver's directive and ordering behavior.
+var makeReporter = &Analyzer{
+	Name: "makerep",
+	Doc:  "test analyzer: reports every make call",
+	Run: func(pass *Pass) error {
+		InspectAll(pass, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+					pass.Reportf(call.Pos(), "make call")
+				}
+			}
+			return true
+		})
+		return nil
+	},
+}
+
+func TestRunPackageReportsAndSorts(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+func b() []int { return make([]int, 2) }
+
+func a() []int { return make([]int, 1) }
+`)
+	got, err := RunPackage(pkg, []*Analyzer{makeReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(got), got)
+	}
+	if got[0].Pos.Line >= got[1].Pos.Line {
+		t.Errorf("findings not sorted by line: %v", got)
+	}
+	if got[0].Analyzer != "makerep" || got[0].Pkg != "p" {
+		t.Errorf("finding metadata wrong: %+v", got[0])
+	}
+}
+
+func TestInlineDirectiveSuppresses(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+func a() []int {
+	return make([]int, 1) //hdkvet:ignore makerep -- exercised by the driver test
+}
+
+//hdkvet:ignore makerep -- standing directive covers the next line
+func b() []int { return make([]int, 2) }
+
+func c() []int {
+	return make([]int, 3) //hdkvet:ignore otherthing -- wrong analyzer, does not suppress
+}
+`)
+	got, err := RunPackage(pkg, []*Analyzer{makeReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0].Message, "make call") {
+		t.Fatalf("got %v, want exactly the unsuppressed finding in c", got)
+	}
+}
+
+func TestMalformedDirectiveIsAFinding(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+//hdkvet:ignore makerep
+func a() []int { return make([]int, 1) }
+`)
+	got, err := RunPackage(pkg, []*Analyzer{makeReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reason-less directive must NOT suppress, and must itself be
+	// reported.
+	var sawMalformed, sawMake bool
+	for _, f := range got {
+		if strings.Contains(f.Message, "malformed directive") {
+			sawMalformed = true
+		}
+		if strings.Contains(f.Message, "make call") {
+			sawMake = true
+		}
+	}
+	if !sawMalformed || !sawMake {
+		t.Fatalf("got %v, want both the malformed-directive finding and the unsuppressed make finding", got)
+	}
+}
+
+func TestRunPackageRefusesTypeErrors(t *testing.T) {
+	pkg := checkPkg(t, `package p
+
+func a() { undefinedIdentifier() }
+`)
+	if _, err := RunPackage(pkg, []*Analyzer{makeReporter}); err == nil {
+		t.Fatal("want an error for a package that does not type-check")
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	content := "# comment\n\nmakerep\tp.go\tmake call\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := Finding{Analyzer: "makerep", Pos: token.Position{Filename: "x/y/p.go"}, Message: "make call"}
+	if !b.Covers(covered) {
+		t.Errorf("baseline should cover %q", covered.Key())
+	}
+	uncovered := Finding{Analyzer: "makerep", Pos: token.Position{Filename: "p.go"}, Message: "other"}
+	if b.Covers(uncovered) {
+		t.Errorf("baseline should not cover %q", uncovered.Key())
+	}
+
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.txt")); err != nil {
+		t.Errorf("missing baseline file should be empty, got error %v", err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	os.WriteFile(bad, []byte("only-one-field\n"), 0o644)
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("malformed baseline entry should error")
+	}
+}
+
+func TestLoadAgainstRealModule(t *testing.T) {
+	// Loading this very package through the production loader proves
+	// the go list + export-data import pipeline end to end.
+	pkgs, err := Load("", []string{"repro/internal/lint/analysis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/lint/analysis" {
+		t.Fatalf("got %v, want just this package", pkgs)
+	}
+	if len(pkgs[0].TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkgs[0].TypeErrors)
+	}
+	if pkgs[0].Pkg.Name() != "analysis" {
+		t.Errorf("package name = %q", pkgs[0].Pkg.Name())
+	}
+}

@@ -1,0 +1,18 @@
+// Scope fixtures: this file is not a wire file, so only decode*/parse*
+// functions are checked.
+package a
+
+import "encoding/binary"
+
+// Positive: parse-prefixed functions are decode paths wherever they live.
+func parseHeader(buf []byte) []int {
+	n, _ := binary.Uvarint(buf)
+	return make([]int, n) // want `make sized from decoded uvarint "n" with no prior bound check`
+}
+
+// Negative: a builder function in a non-wire file is out of scope even
+// though it allocates from a uvarint.
+func buildTable(buf []byte) []int {
+	n, _ := binary.Uvarint(buf)
+	return make([]int, n)
+}

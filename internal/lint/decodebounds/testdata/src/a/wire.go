@@ -1,0 +1,54 @@
+// Fixtures for the decodebounds analyzer: this file's name contains
+// "wire", so every function in it is in scope.
+package a
+
+import "encoding/binary"
+
+// Positive: allocate straight from a decoded count.
+func decodeNoCheck(buf []byte) []string {
+	n, _ := binary.Uvarint(buf)
+	out := make([]string, 0, n) // want `make sized from decoded uvarint "n" with no prior bound check`
+	return out
+}
+
+// Positive: the taint flows through a conversion assignment.
+func decodeViaConversion(buf []byte) []uint64 {
+	n, _ := binary.Uvarint(buf)
+	count := int(n)
+	return make([]uint64, count) // want `make sized from decoded uvarint "count" with no prior bound check`
+}
+
+// Positive: map preallocation is the same bomb.
+func decodeMapPrealloc(buf []byte) map[string]int {
+	n, sz := binary.Uvarint(buf)
+	_ = sz
+	return make(map[string]int, n) // want `make sized from decoded uvarint "n" with no prior bound check`
+}
+
+// Negative: the canonical corrected form — compare against the
+// remaining input before allocating.
+func decodeChecked(buf []byte) []string {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > uint64(len(buf)) {
+		return nil
+	}
+	return make([]string, 0, n)
+}
+
+// Negative: clamping through the min builtin bounds on the spot.
+func decodeClamped(buf []byte) []string {
+	n, _ := binary.Uvarint(buf)
+	return make([]string, 0, min(int(n), 256))
+}
+
+// Negative: a reassignment from a clean source clears the taint.
+func decodeReassigned(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	n = 16
+	return make([]byte, n)
+}
+
+// Negative: sizes that never saw the wire are fine.
+func decodeFixed(buf []byte) []byte {
+	return make([]byte, 64)
+}

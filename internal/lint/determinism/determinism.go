@@ -1,0 +1,257 @@
+// Package determinism guards the properties the repo's bit-identical
+// parity gates assume: the coordinator traversal and every canonical
+// encode path must be a pure function of their inputs. Go map iteration
+// order is randomized per run, so a map range that feeds accumulation
+// or encoding without an intervening sort produces answers that differ
+// between two runs of the same binary — exactly the class of bug the
+// Figure-7 parity gates (engine == fabric == coordinator, at any
+// fan-out, over any transport) would surface as an unreproducible
+// one-in-N flake. Wall-clock and randomness reads are banned in the
+// same scope for the same reason.
+//
+// Scope: all files in packages whose import path ends in postings or
+// ingest, plus coordinate.go and searchwire.go in the core package.
+//
+// Rules:
+//
+//   - A `for … range m` over a map is reported when its body appends,
+//     encodes, writes, or accumulates into floats or strings — unless
+//     the loop is the canonical collect-then-sort idiom: a single
+//     append into a slice that is passed to sort.*/slices.Sort* before
+//     any other use.
+//   - Any use of time.Now or of math/rand (v1 or v2) in scope is
+//     reported. Telemetry timing that provably cannot reach an encoded
+//     byte can be suppressed at the use site with //hdkvet:ignore.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid unsorted map iteration feeding accumulation/encoding, time.Now, and math/rand " +
+		"in the canonical-encode and coordinator-traversal paths the parity gates assume deterministic",
+	Run: run,
+}
+
+// coreFiles are the determinism-critical files of the core package.
+var coreFiles = map[string]bool{"coordinate.go": true, "searchwire.go": true}
+
+func run(pass *analysis.Pass) error {
+	tail := lintutil.PathTail(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		switch {
+		case tail == "postings" || tail == "ingest":
+		case tail == "core" && coreFiles[filepath.Base(pass.Fset.Position(f.Pos()).Filename)]:
+		default:
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fn, ok := info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+					pass.Reportf(n.Pos(), "time.Now in a determinism-critical path")
+				case fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2":
+					pass.Reportf(n.Pos(), "math/rand in a determinism-critical path")
+				}
+			}
+		case *ast.BlockStmt:
+			checkStmtList(pass, n.List)
+			// Keep descending: nested blocks are themselves BlockStmts
+			// and range bodies are visited via their parents' lists.
+		}
+		return true
+	})
+}
+
+// checkStmtList examines each map-range loop that is a direct element
+// of the list, with access to the statements that follow it (for the
+// collect-then-sort idiom).
+func checkStmtList(pass *analysis.Pass, list []ast.Stmt) {
+	for i, s := range list {
+		rng, ok := s.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		checkMapRange(pass, rng, list[i+1:])
+	}
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	info := pass.TypesInfo
+
+	// The canonical idiom: `for k := range m { keys = append(keys, k) }`
+	// followed by a sort of keys before any other use.
+	if dst, ok := singleAppendTarget(info, rng.Body); ok {
+		obj := info.ObjectOf(dst)
+		for _, s := range rest {
+			if !mentionsStmt(info, s, obj) {
+				continue
+			}
+			if isSortOf(info, s, obj) {
+				return // collected then sorted: deterministic
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration order feeds %q without an intervening sort", dst.Name)
+			return
+		}
+		pass.Reportf(rng.Pos(),
+			"map iteration order feeds %q without an intervening sort", dst.Name)
+		return
+	}
+
+	// General body: flag order-dependent effects.
+	if effect := orderDependentEffect(info, rng); effect != "" {
+		pass.Reportf(rng.Pos(), "map range %s — iteration order is randomized; sort keys first", effect)
+	}
+}
+
+// singleAppendTarget matches a body that is exactly `x = append(x, …)`
+// and returns x.
+func singleAppendTarget(info *types.Info, body *ast.BlockStmt) (*ast.Ident, bool) {
+	if len(body.List) != 1 {
+		return nil, false
+	}
+	as, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return dst, ok && b.Name() == "append"
+}
+
+func mentionsStmt(info *types.Info, s ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortOf matches `sort.X(dst…)`, `slices.SortX(dst…)` and
+// `sort.Slice(dst, …)` expression statements.
+func isSortOf(info *types.Info, s ast.Stmt, obj types.Object) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := lintutil.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "sort" && pkg != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if lintutil.MentionsObj(info, arg, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderDependentEffect scans a map-range body for effects whose result
+// depends on iteration order, returning a description or "".
+func orderDependentEffect(info *types.Info, rng *ast.RangeStmt) string {
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	effect := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if t := info.TypeOf(n.Lhs[0]); t != nil && orderSensitiveAccum(t) {
+					effect = "accumulates into a float/string"
+				}
+			case token.ASSIGN, token.DEFINE:
+				for _, rhs := range n.Rhs {
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isAppendCall(info, call) {
+						effect = "appends to a slice"
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := lintutil.CalleeFunc(info, n); fn != nil {
+				name := strings.ToLower(fn.Name())
+				if strings.Contains(name, "encode") || strings.Contains(name, "append") ||
+					strings.HasPrefix(name, "write") {
+					effect = "feeds an encoder (" + fn.Name() + ")"
+				}
+			}
+		}
+		return effect == ""
+	})
+	return effect
+}
+
+func orderSensitiveAccum(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0 || b.Info()&types.IsString != 0
+}
+
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}

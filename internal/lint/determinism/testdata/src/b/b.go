@@ -1,0 +1,18 @@
+// Package b is OUT of the determinism analyzer's scope (its path tail
+// is neither postings nor ingest, and it is not a core canonical file),
+// so none of these order-dependent loops are reported.
+package b
+
+import "time"
+
+func unscopedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func unscopedClock() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,111 @@
+// Fixtures for the determinism analyzer. The package is named postings
+// so its import-path tail puts every file in scope.
+package postings
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func appendKey(buf []byte, k string) []byte { return append(buf, k...) }
+
+// Positive: encoding straight out of a map range.
+func badEncode(m map[string]int, buf []byte) []byte {
+	for k := range m { // want `map range feeds an encoder \(appendKey\)`
+		buf = appendKey(buf, k)
+	}
+	return buf
+}
+
+// Positive: collected keys used without a sort.
+func badCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order feeds "keys" without an intervening sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Positive: float accumulation depends on iteration order.
+func badFloatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map range accumulates into a float/string`
+		total += v
+	}
+	return total
+}
+
+// Positive: string concatenation depends on iteration order.
+func badStringConcat(m map[string]string) string {
+	out := ""
+	for _, v := range m { // want `map range accumulates into a float/string`
+		out += v
+	}
+	return out
+}
+
+// Positive: wall-clock reads in a canonical path.
+func badClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a determinism-critical path`
+}
+
+// Positive: randomness in a canonical path.
+func badRand() int {
+	return rand.Int() // want `math/rand in a determinism-critical path`
+}
+
+// Negative: the canonical collect-then-sort idiom.
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Negative: sort.Slice counts as the intervening sort.
+func goodCollectSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Negative: integer counting is order-independent.
+func goodIntCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Negative: integer sums are order-independent.
+func goodIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Negative: filling another map is order-independent.
+func goodMapFill(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Negative: ranging over a slice is always ordered.
+func goodSliceRange(s []string, buf []byte) []byte {
+	for _, k := range s {
+		buf = appendKey(buf, k)
+	}
+	return buf
+}

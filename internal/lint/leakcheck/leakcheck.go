@@ -1,0 +1,122 @@
+// Package leakcheck is a dependency-free goroutine-leak gate for test
+// packages: a TestMain wrapper that, after the package's tests pass,
+// waits briefly for background goroutines to wind down and fails the
+// run if any survive. A leaked goroutine in a transport or store test
+// is usually a missing Close/Shutdown on a code path the test just
+// exercised — exactly the class of bug -race and the e2e suite miss
+// because the process exits before the leak matters.
+//
+// Usage, in the package under guard:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+//
+// Goroutines whose stacks are part of normal runtime/testing operation
+// are always ignored; a package with a known long-lived helper can
+// allowlist it by a substring of its stack trace:
+//
+//	os.Exit(leakcheck.Main(m, "internal/foo.(*Janitor).loop"))
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long Main waits for goroutines started by
+// the tests to finish after m.Run returns. Shutdown paths are
+// asynchronous (connection readers drain, servers close listeners), so
+// an immediate snapshot would flag goroutines that are already dying.
+const settleTimeout = 5 * time.Second
+
+// baseAllow matches goroutines every Go test process owns: the testing
+// harness itself, runtime helpers, and signal plumbing.
+var baseAllow = []string{
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.runFuzzing(",
+	"testing.tRunner(",
+	"runtime.goexit",
+	"created by runtime",
+	"runtime/pprof.",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ReadTrace",
+}
+
+// Main runs the package's tests and returns the exit code for os.Exit:
+// m.Run's code when it is non-zero (test failures win over leak
+// reports), otherwise 0 if every non-allowlisted goroutine exited
+// within the settle window and 1 with a stack dump if not.
+func Main(m *testing.M, allow ...string) int {
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	leaked := wait(settleTimeout, allow)
+	if len(leaked) == 0 {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) survived the test run:\n\n%s\n",
+		len(leaked), strings.Join(leaked, "\n\n"))
+	return 1
+}
+
+// Check returns the stacks of goroutines alive right now that neither
+// the base allowlist nor allow matches. Exposed for leakcheck's own
+// tests; production users want Main, which gives shutdown a grace
+// window instead of sampling one instant.
+func Check(allow ...string) []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || isAllowed(g, allow) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// wait polls Check until it comes back empty or the deadline passes,
+// returning the final snapshot's leaks.
+func wait(d time.Duration, allow []string) []string {
+	deadline := time.Now().Add(d)
+	var leaked []string
+	for {
+		leaked = Check(allow...)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func isAllowed(stack string, allow []string) bool {
+	// The snapshotting goroutine is the one running Main itself.
+	if strings.HasPrefix(stack, "goroutine ") && strings.Contains(stack, "leakcheck.Check(") {
+		return true
+	}
+	for _, a := range baseAllow {
+		if strings.Contains(stack, a) {
+			return true
+		}
+	}
+	for _, a := range allow {
+		if strings.Contains(stack, a) {
+			return true
+		}
+	}
+	return false
+}

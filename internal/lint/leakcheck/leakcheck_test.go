@@ -1,0 +1,62 @@
+package leakcheck
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The package guards itself: if these tests leak, TestMain fails the
+// run.
+func TestMain(m *testing.M) { os.Exit(Main(m)) }
+
+func TestCheckCleanProcess(t *testing.T) {
+	if leaked := Check(); len(leaked) != 0 {
+		t.Fatalf("clean process reported leaks:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestCheckSeesLeakedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		leakMarker(block)
+	}()
+	<-started
+	defer close(block) // let it exit so TestMain stays green
+
+	leaked := Check()
+	if len(leaked) == 0 {
+		t.Fatal("Check missed a deliberately leaked goroutine")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "leakMarker") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report does not name the leaked frame:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestCheckHonorsAllowlist(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		leakMarker(block)
+	}()
+	<-started
+	defer close(block)
+
+	for _, g := range Check("leakcheck.leakMarker") {
+		if strings.Contains(g, "leakMarker") {
+			t.Fatalf("allowlisted goroutine still reported:\n%s", g)
+		}
+	}
+}
+
+// leakMarker gives the deliberate leak a recognizable stack frame.
+func leakMarker(block chan struct{}) { <-block }

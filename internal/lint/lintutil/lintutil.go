@@ -1,0 +1,76 @@
+// Package lintutil holds the small type-resolution helpers the hdkvet
+// analyzers share: resolving a call expression to its *types.Func,
+// matching packages by import-path tail (so analysistest-style fixture
+// packages named `transport` or `telemetry` exercise the same code
+// paths as the real `repro/internal/...` packages), and expression
+// mention scans.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathTail returns the last slash-separated element of an import path.
+func PathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// CalleeFunc resolves a call expression to the function or method it
+// invokes, or nil (builtin, conversion, indirect call through a
+// variable).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// ReceiverTypeName returns the name of the method's receiver's named
+// type (pointers dereferenced), or "" for plain functions.
+func ReceiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// Mentions reports whether the expression tree references any of the
+// given objects.
+func Mentions(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// MentionsObj is Mentions for a single object.
+func MentionsObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	return Mentions(info, expr, map[types.Object]bool{obj: true})
+}

@@ -1,0 +1,12 @@
+package meterednames_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/meterednames"
+)
+
+func TestMeteredNames(t *testing.T) {
+	linttest.Run(t, "testdata", meterednames.Analyzer, "a")
+}

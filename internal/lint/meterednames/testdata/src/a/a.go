@@ -1,0 +1,27 @@
+package a
+
+import "telemetry"
+
+// metricGood is the required form: one package-level definition site.
+const metricGood = "hdk_good_total"
+
+func register(reg *telemetry.Registry, dynamic string) {
+	// Negative: package-level consts, local or imported.
+	reg.Counter(metricGood)
+	reg.Gauge(telemetry.StdName)
+	reg.Histogram(metricGood)
+	reg.GaugeFunc(metricGood, func() float64 { return 0 })
+
+	// Positive: inline literal.
+	reg.Counter("hdk_bad_total") // want `metric name passed to Registry.Counter must be a package-level const \(inline string literal\)`
+
+	// Positive: runtime-computed name.
+	reg.Gauge(dynamic) // want `metric name passed to Registry.Gauge must be a package-level const \(not a constant\)`
+
+	// Positive: concatenation is a computed expression.
+	reg.Histogram(metricGood + "_x") // want `metric name passed to Registry.Histogram must be a package-level const \(computed expression\)`
+
+	// Positive: function-local consts drift as easily as literals.
+	const local = "hdk_local_total"
+	reg.GaugeFunc(local, func() float64 { return 0 }) // want `metric name passed to Registry.GaugeFunc must be a package-level const \(function-local const\)`
+}

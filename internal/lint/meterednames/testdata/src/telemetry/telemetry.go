@@ -1,0 +1,32 @@
+// Miniature of repro/internal/telemetry for fixture type resolution.
+package telemetry
+
+// Label is one metric label.
+type Label struct{ Key, Value string }
+
+// Counter is a monotonic counter.
+type Counter struct{}
+
+// Gauge is a point-in-time value.
+type Gauge struct{}
+
+// Histogram is a latency histogram.
+type Histogram struct{}
+
+// Registry registers metrics.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter { return nil }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge { return nil }
+
+// GaugeFunc registers a computed gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {}
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram { return nil }
+
+// StdName is a metric name exported for reuse across packages.
+const StdName = "hdk_std_total"

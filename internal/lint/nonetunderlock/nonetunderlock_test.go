@@ -1,0 +1,12 @@
+package nonetunderlock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nonetunderlock"
+)
+
+func TestNoNetUnderLock(t *testing.T) {
+	linttest.Run(t, "testdata", nonetunderlock.Analyzer, "a")
+}

@@ -1,0 +1,85 @@
+package a
+
+import (
+	"sync"
+
+	"cluster"
+	"transport"
+)
+
+type srv struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	tr transport.Transport
+	cl *cluster.Client
+}
+
+// Positive: RPC under a deferred-unlock mutex.
+func (s *srv) badDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr.Call("x", nil) // want `RPC Transport.Call while s.mu is held`
+}
+
+// Positive: RPC between RLock and RUnlock.
+func (s *srv) badReadLocked() error {
+	s.rw.RLock()
+	err := s.cl.SearchVia("x") // want `RPC Client.SearchVia while s.rw is held`
+	s.rw.RUnlock()
+	return err
+}
+
+// Positive: the lock is still held inside nested control flow.
+func (s *srv) badNested(cond bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		_ = s.cl.Configure() // want `RPC Client.Configure while s.mu is held`
+	}
+}
+
+// Positive: an immediately-invoked literal runs under the caller's lock.
+func (s *srv) badIIFE() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	func() {
+		s.tr.Call("x", nil) // want `RPC Transport.Call while s.mu is held`
+	}()
+}
+
+// Positive: a concrete transport implementation counts like the interface.
+func (s *srv) badConcrete(t *transport.TCP) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.Call("x", nil) // want `RPC TCP.Call while s.mu is held`
+}
+
+// Negative: the RPC happens after the unlock.
+func (s *srv) goodAfterUnlock() {
+	s.mu.Lock()
+	v := 1
+	_ = v
+	s.mu.Unlock()
+	s.tr.Call("x", nil)
+}
+
+// Negative: a spawned goroutine does not hold the caller's lock.
+func (s *srv) goodGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.tr.Call("x", nil)
+	}()
+}
+
+// Negative: local, non-RPC methods are fine under the lock.
+func (s *srv) goodLocal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.Size()
+}
+
+// Negative: no lock, no finding.
+func (s *srv) goodUnlocked() {
+	s.tr.Call("x", nil)
+}

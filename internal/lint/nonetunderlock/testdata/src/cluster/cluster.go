@@ -1,0 +1,16 @@
+// Miniature of repro/internal/transport/cluster for fixture type
+// resolution.
+package cluster
+
+// Client mirrors the cluster client: Via-suffixed and listed methods
+// are RPC-backed, the rest are local.
+type Client struct{}
+
+// SearchVia performs an RPC.
+func (c *Client) SearchVia(addr string) error { return nil }
+
+// Configure performs RPCs.
+func (c *Client) Configure() error { return nil }
+
+// Size is local bookkeeping — not an RPC.
+func (c *Client) Size() int { return 0 }

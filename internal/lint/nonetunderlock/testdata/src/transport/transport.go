@@ -1,0 +1,15 @@
+// Miniature of repro/internal/transport for fixture type resolution:
+// the analyzer matches by package-path tail and method name, so this
+// package exercises the same code path as the real one.
+package transport
+
+// Transport mirrors the RPC interface.
+type Transport interface {
+	Call(addr string, req []byte) ([]byte, error)
+}
+
+// TCP is a concrete implementation.
+type TCP struct{}
+
+// Call performs an RPC.
+func (t *TCP) Call(addr string, req []byte) ([]byte, error) { return nil, nil }

@@ -1,0 +1,92 @@
+package postings
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fuzzcorpus"
+)
+
+// Fuzz targets for the postings wire codec: the key-list frame of the
+// multi-key fetch RPC and the keyed-message batch of the insert RPC.
+// Both decoders read attacker-controllable bytes, so the contract is:
+// no panic, no allocation sized from an unbacked declared count, and
+// stable re-encoding of every accepted input (scores travel as exact
+// float bits, so byte comparison is NaN-safe).
+
+func keyListSeeds() [][]byte {
+	return [][]byte{
+		EncodeKeyList(nil, []string{"alpha"}),
+		EncodeKeyList(nil, []string{"alpha", "beta gamma", ""}),
+		EncodeKeyList(nil, nil),
+		{0xff, 0xff, 0xff, 0xff},
+	}
+}
+
+func keyedBatchSeeds() [][]byte {
+	one := KeyedMessage{Key: "alpha beta", Aux: 3, List: List{{Doc: 1, Score: 0.5}, {Doc: 8, Score: 2}}}
+	two := KeyedMessage{Key: "gamma", Aux: 0, List: List{{Doc: 2}}}
+	return [][]byte{
+		EncodeKeyedBatch(nil, []KeyedMessage{one}),
+		EncodeKeyedBatch(nil, []KeyedMessage{one, two}),
+		EncodeKeyedBatch(nil, nil),
+		EncodeKeyed(nil, two),
+		{0x01},
+	}
+}
+
+func FuzzDecodeKeyList(f *testing.F) {
+	for _, seed := range keyListSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := DecodeKeyList(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeKeyList(nil, keys)
+		keys2, err := DecodeKeyList(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted key list failed: %v", err)
+		}
+		if enc2 := EncodeKeyList(nil, keys2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("key-list encoding not stable:\n first %x\nsecond %x", enc, enc2)
+		}
+	})
+}
+
+func FuzzDecodeKeyedBatch(f *testing.F) {
+	for _, seed := range keyedBatchSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ms, err := DecodeKeyedBatch(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeKeyedBatch(nil, ms)
+		ms2, err := DecodeKeyedBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted batch failed: %v", err)
+		}
+		if enc2 := EncodeKeyedBatch(nil, ms2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("batch encoding not stable:\n first %x\nsecond %x", enc, enc2)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus; see
+// package fuzzcorpus.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !fuzzcorpus.Enabled() {
+		t.Skipf("set %s=1 to regenerate testdata/fuzz", fuzzcorpus.EnvVar)
+	}
+	for name, seeds := range map[string][][]byte{
+		"FuzzDecodeKeyList":    keyListSeeds(),
+		"FuzzDecodeKeyedBatch": keyedBatchSeeds(),
+	} {
+		if err := fuzzcorpus.Write(name, seeds); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

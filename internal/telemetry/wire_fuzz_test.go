@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fuzzcorpus"
+)
+
+// Fuzz targets for the telemetry wire formats: the registry snapshot
+// (the cluster.metrics RPC payload) and the per-query trace a traced
+// search response carries. Both cross process boundaries, so the
+// decoders must survive arbitrary bytes without panicking or
+// oversize-allocating, and every accepted input must re-encode stably
+// (floats travel as exact bits, so byte comparison is NaN-safe).
+
+func snapshotSeeds() [][]byte {
+	reg := NewRegistry()
+	reg.Counter("hdk_fuzz_total", L("shard", "3")).Add(41)
+	reg.Gauge("hdk_fuzz_depth").Set(1.5)
+	reg.Histogram("hdk_fuzz_nanoseconds").Observe(1 << 20)
+	return [][]byte{
+		EncodeSnapshot(reg.Snapshot()),
+		EncodeSnapshot(Snapshot{}),
+		{},
+		{0xff, 0xff, 0xff, 0xff},
+	}
+}
+
+func traceSeeds() [][]byte {
+	tb := StartTrace("search", Str("query", "alpha beta"))
+	lvl := tb.Start(0, "level", Num("level", 1))
+	tb.Start(lvl, "fetch", Num("owner", 4))
+	tb.End(lvl)
+	return [][]byte{
+		EncodeTrace(tb.Finish()),
+		EncodeTrace(&Trace{Spans: []TraceSpan{{Name: "root", Parent: -1}}}),
+		{},
+		{0x01, 0x80},
+	}
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	for _, seed := range snapshotSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeSnapshot(s)
+		s2, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		if enc2 := EncodeSnapshot(s2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("snapshot encoding not stable:\n first %x\nsecond %x", enc, enc2)
+		}
+	})
+}
+
+func FuzzDecodeTrace(f *testing.F) {
+	for _, seed := range traceSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeTrace(tr)
+		tr2, err := DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted trace failed: %v", err)
+		}
+		if enc2 := EncodeTrace(tr2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("trace encoding not stable:\n first %x\nsecond %x", enc, enc2)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus; see
+// package fuzzcorpus.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !fuzzcorpus.Enabled() {
+		t.Skipf("set %s=1 to regenerate testdata/fuzz", fuzzcorpus.EnvVar)
+	}
+	for name, seeds := range map[string][][]byte{
+		"FuzzDecodeSnapshot": snapshotSeeds(),
+		"FuzzDecodeTrace":    traceSeeds(),
+	} {
+		if err := fuzzcorpus.Write(name, seeds); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint/leakcheck"
+)
+
+// Cluster tests start servers, clients and (in the e2e suite) daemon
+// subprocesses; leakcheck fails the run if any in-process goroutine —
+// a serving loop, an ingest session, a repairer — survives them.
+func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }

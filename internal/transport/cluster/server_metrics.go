@@ -9,6 +9,26 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Registry series the cluster daemon emits.
+const (
+	metricInsertRPCs         = "hdk_insert_rpcs_total"
+	metricFetchRPCs          = "hdk_fetch_rpcs_total"
+	metricSearchRPCs         = "hdk_search_rpcs_total"
+	metricSearchShed         = "hdk_search_shed_total"
+	metricSearchCacheHits    = "hdk_search_cache_hits_total"
+	metricSearchCacheMisses  = "hdk_search_cache_misses_total"
+	metricSearchSlow         = "hdk_search_slow_total"
+	metricIngestChunks       = "hdk_ingest_chunks_total"
+	metricIngestBytes        = "hdk_ingest_bytes_total"
+	metricBuildRounds        = "hdk_build_rounds_total"
+	metricAdmissionWaitNanos = "hdk_search_admission_wait_nanoseconds"
+	metricCoordinationNanos  = "hdk_search_coordination_nanoseconds"
+	metricBuildRoundNanos    = "hdk_build_round_nanoseconds"
+	metricSearchQueueDepth   = "hdk_search_queue_depth"
+	metricClusterMembers     = "hdk_cluster_members"
+	metricStoreKeys          = "hdk_store_keys"
+)
+
 // serverMetrics is the daemon's telemetry registry plus the hot-path
 // instruments pre-registered on it, so serving code increments a field
 // instead of taking the registry lock per request. The registry itself
@@ -39,19 +59,19 @@ func newServerMetrics() *serverMetrics {
 	reg := telemetry.NewRegistry()
 	return &serverMetrics{
 		reg:            reg,
-		insertRPCs:     reg.Counter("hdk_insert_rpcs_total"),
-		fetchRPCs:      reg.Counter("hdk_fetch_rpcs_total"),
-		searchRPCs:     reg.Counter("hdk_search_rpcs_total"),
-		searchShed:     reg.Counter("hdk_search_shed_total"),
-		cacheHits:      reg.Counter("hdk_search_cache_hits_total"),
-		cacheMisses:    reg.Counter("hdk_search_cache_misses_total"),
-		slowQueries:    reg.Counter("hdk_search_slow_total"),
-		ingestChunks:   reg.Counter("hdk_ingest_chunks_total"),
-		ingestBytes:    reg.Counter("hdk_ingest_bytes_total"),
-		buildRounds:    reg.Counter("hdk_build_rounds_total"),
-		admissionWait:  reg.Histogram("hdk_search_admission_wait_nanoseconds"),
-		coordination:   reg.Histogram("hdk_search_coordination_nanoseconds"),
-		buildRoundTime: reg.Histogram("hdk_build_round_nanoseconds"),
+		insertRPCs:     reg.Counter(metricInsertRPCs),
+		fetchRPCs:      reg.Counter(metricFetchRPCs),
+		searchRPCs:     reg.Counter(metricSearchRPCs),
+		searchShed:     reg.Counter(metricSearchShed),
+		cacheHits:      reg.Counter(metricSearchCacheHits),
+		cacheMisses:    reg.Counter(metricSearchCacheMisses),
+		slowQueries:    reg.Counter(metricSearchSlow),
+		ingestChunks:   reg.Counter(metricIngestChunks),
+		ingestBytes:    reg.Counter(metricIngestBytes),
+		buildRounds:    reg.Counter(metricBuildRounds),
+		admissionWait:  reg.Histogram(metricAdmissionWaitNanos),
+		coordination:   reg.Histogram(metricCoordinationNanos),
+		buildRoundTime: reg.Histogram(metricBuildRoundNanos),
 	}
 }
 
@@ -61,7 +81,7 @@ func newServerMetrics() *serverMetrics {
 // reads (Snapshot is never called under those locks).
 func (s *Server) registerGauges() {
 	reg := s.metrics.reg
-	reg.GaugeFunc("hdk_search_queue_depth", func() float64 {
+	reg.GaugeFunc(metricSearchQueueDepth, func() float64 {
 		s.amu.Lock()
 		defer s.amu.Unlock()
 		// Admitted minus running = waiting for a worker slot (clamped:
@@ -71,12 +91,12 @@ func (s *Server) registerGauges() {
 		}
 		return 0
 	})
-	reg.GaugeFunc("hdk_cluster_members", func() float64 {
+	reg.GaugeFunc(metricClusterMembers, func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(len(s.members))
 	})
-	reg.GaugeFunc("hdk_store_keys", func() float64 {
+	reg.GaugeFunc(metricStoreKeys, func() float64 {
 		s.mu.Lock()
 		store := s.store
 		s.mu.Unlock()

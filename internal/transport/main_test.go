@@ -1,0 +1,13 @@
+package transport
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint/leakcheck"
+)
+
+// Every transport test must wind down its dials, pools and listeners:
+// a goroutine that outlives the run is a missed Close on a path the
+// test just exercised.
+func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }

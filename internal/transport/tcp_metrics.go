@@ -6,6 +6,19 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Registry series the TCP transport emits.
+const (
+	metricDials         = "hdk_transport_dials_total"
+	metricPoolReuses    = "hdk_transport_pool_reuses_total"
+	metricStaleRetries  = "hdk_transport_stale_retries_total"
+	metricIdleDropped   = "hdk_transport_idle_dropped_total"
+	metricCallErrors    = "hdk_transport_call_errors_total"
+	metricDialNanos     = "hdk_transport_dial_nanoseconds"
+	metricCallNanos     = "hdk_transport_call_nanoseconds"
+	metricInflightCalls = "hdk_transport_inflight_calls"
+	metricIdleConns     = "hdk_transport_idle_conns"
+)
+
 // tcpMetrics is the registry view of the pool counters plus the two
 // latency histograms only the transport can measure. The struct is
 // swapped in atomically by Instrument so an uninstrumented transport
@@ -29,20 +42,20 @@ type tcpMetrics struct {
 // simply not recorded.
 func (t *TCP) Instrument(reg *telemetry.Registry) {
 	m := &tcpMetrics{
-		dials:        reg.Counter("hdk_transport_dials_total"),
-		reuses:       reg.Counter("hdk_transport_pool_reuses_total"),
-		staleRetries: reg.Counter("hdk_transport_stale_retries_total"),
-		idleDropped:  reg.Counter("hdk_transport_idle_dropped_total"),
-		callErrors:   reg.Counter("hdk_transport_call_errors_total"),
-		dialLat:      reg.Histogram("hdk_transport_dial_nanoseconds"),
-		callLat:      reg.Histogram("hdk_transport_call_nanoseconds"),
+		dials:        reg.Counter(metricDials),
+		reuses:       reg.Counter(metricPoolReuses),
+		staleRetries: reg.Counter(metricStaleRetries),
+		idleDropped:  reg.Counter(metricIdleDropped),
+		callErrors:   reg.Counter(metricCallErrors),
+		dialLat:      reg.Histogram(metricDialNanos),
+		callLat:      reg.Histogram(metricCallNanos),
 	}
-	reg.GaugeFunc("hdk_transport_inflight_calls", func() float64 {
+	reg.GaugeFunc(metricInflightCalls, func() float64 {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		return float64(len(t.inflight))
 	})
-	reg.GaugeFunc("hdk_transport_idle_conns", func() float64 {
+	reg.GaugeFunc(metricIdleConns, func() float64 {
 		return float64(t.IdleConns())
 	})
 	t.metrics.Store(m)
