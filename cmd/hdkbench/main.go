@@ -13,6 +13,7 @@
 //	hdkbench -connect HOST:PORT [-scale ...] [-replicas R] [-json PATH]
 //	hdkbench -connect HOST:PORT -coordinator [-clients N] [-json PATH]
 //	hdkbench -connect HOST:PORT -saturate [-clients N] [-json PATH]
+//	hdkbench -chaos|-soak [-seed N | -replay PATH] [-json PATH]
 //
 // The small scale finishes in seconds, medium in minutes; paper runs the
 // verbatim Table 2 parameters (hours in one process). -json additionally
@@ -36,17 +37,33 @@
 // for accepted requests, bit-identical answers, full recovery once the
 // load stops. It exits nonzero unless every gate holds — the CI
 // saturation smoke.
+//
+// -chaos spawns its own 5-process durable cluster and fires a seeded
+// fault schedule at it — SIGKILL + warm restart, incremental update
+// waves, live admission resizes, replica repairs, pressure-driven
+// compactions — under continuous query load, gating recall, error-
+// freedom, bounded p99 and post-chaos bit-identical parity. The
+// schedule is a pure function of -seed, so `-chaos -seed N` replays a
+// CI failure exactly; -replay fires a serialized schedule artifact
+// instead. -soak is the time-compressed durability variant: more waves
+// against a smaller compaction threshold cycle every daemon through
+// several snapshot generations, and the run ends with a rolling
+// restart proved byte-identical by fingerprint census. Both exit
+// nonzero unless every gate holds.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/transport"
+	"repro/internal/transport/cluster"
 )
 
 func main() {
@@ -62,13 +79,17 @@ func main() {
 	clients := flag.Int("clients", 4, "with -coordinator: concurrent closed-loop clients for the throughput/latency phase")
 	codec := flag.Bool("codec", false, "run the hot-path codec microbench (allocation counts per wire-codec op) instead of a sweep")
 	saturate := flag.Bool("saturate", false, "with -connect: drive offered load past the coordinator's capacity and gate the bounded-serving contract (exits nonzero unless every gate holds)")
+	chaos := flag.Bool("chaos", false, "run the chaos scenario against a self-spawned durable cluster (exits nonzero unless every gate holds)")
+	soak := flag.Bool("soak", false, "run the time-compressed soak variant of the chaos scenario (generation rollovers + byte-identical restore)")
+	seed := flag.Uint64("seed", 1, "with -chaos/-soak: fault-schedule seed (identical seeds replay identical schedules)")
+	replay := flag.String("replay", "", "with -chaos/-soak: path to a serialized fault schedule (the CI failure artifact) to fire instead of generating one from -seed")
 	chunkBytes := flag.Int("build-chunk-bytes", 0, "with -connect: hdk.ingest chunk payload target in bytes (0 = cluster default)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
-	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *kill, *fanout, *clients, *chunkBytes, *coordinator, *codec, *saturate, *quiet, setFlags); err != nil {
+	if err := run(*scaleName, *experiment, *fabric, *replicas, *jsonPath, *connect, *replay, *kill, *fanout, *clients, *chunkBytes, *seed, *coordinator, *codec, *saturate, *chaos, *soak, *quiet, setFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hdkbench:", err)
 		os.Exit(1)
 	}
@@ -90,7 +111,7 @@ func parseReplicas(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill float64, fanout, clients, chunkBytes int, coordinator, codec, saturate, quiet bool, setFlags map[string]bool) error {
+func run(scaleName, experiment, fabric, replicas, jsonPath, connect, replay string, kill float64, fanout, clients, chunkBytes int, seed uint64, coordinator, codec, saturate, chaos, soak, quiet bool, setFlags map[string]bool) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -122,7 +143,7 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 		// The codec microbench needs no cluster, sweep or experiment
 		// selection; reject combinations rather than silently running
 		// something other than what was asked for.
-		for _, name := range []string{"connect", "coordinator", "clients", "experiment", "fabric", "kill", "replicas", "fanout", "build-chunk-bytes"} {
+		for _, name := range []string{"connect", "coordinator", "clients", "experiment", "fabric", "kill", "replicas", "fanout", "build-chunk-bytes", "chaos", "soak", "seed", "replay"} {
 			if setFlags[name] {
 				return fmt.Errorf("-%s does not apply to -codec (hot-path microbench)", name)
 			}
@@ -134,13 +155,26 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 		}
 		return nil
 	}
+	if chaos || soak {
+		// The chaos scenario spawns (and reaps) its own durable cluster;
+		// reject flags that would suggest an external one applies.
+		for _, name := range []string{"connect", "coordinator", "clients", "experiment", "fabric", "kill", "replicas", "fanout", "scale", "build-chunk-bytes", "saturate"} {
+			if setFlags[name] {
+				return fmt.Errorf("-%s does not apply to -chaos/-soak (self-contained scenario)", name)
+			}
+		}
+		return runChaos(scale, jsonPath, replay, seed, soak, progress)
+	}
+	if setFlags["seed"] || setFlags["replay"] {
+		return fmt.Errorf("-seed and -replay apply to -chaos/-soak only")
+	}
 	if saturate {
 		if connect == "" {
 			return fmt.Errorf("-saturate requires -connect (it drives a live cluster)")
 		}
 		// The saturation gate has fixed CI parameters; reject flags that
 		// would suggest they apply.
-		for _, name := range []string{"coordinator", "experiment", "fabric", "kill", "replicas", "fanout", "scale", "build-chunk-bytes"} {
+		for _, name := range []string{"coordinator", "experiment", "fabric", "kill", "replicas", "fanout", "scale", "build-chunk-bytes", "seed", "replay"} {
 			if setFlags[name] {
 				return fmt.Errorf("-%s does not apply to -saturate (bounded-serving gate)", name)
 			}
@@ -281,6 +315,99 @@ func run(scaleName, experiment, fabric, replicas, jsonPath, connect string, kill
 	}
 	if jsonPath != "" {
 		return experiments.WriteJSON(jsonPath, experiments.BenchJSON(res))
+	}
+	return nil
+}
+
+// runChaos spawns a durable 5-process cluster (small -compact-bytes so
+// update waves force generation rollovers), fires the fault schedule —
+// generated from -seed, or loaded verbatim from a -replay artifact —
+// under continuous query load, and exits nonzero unless every gate
+// holds. On failure the cluster's data directories, per-node logs and
+// the serialized schedule are kept for inspection; on success they are
+// removed.
+func runChaos(scale experiments.Scale, jsonPath, replay string, seed uint64, soak bool, progress experiments.Progress) error {
+	opts := experiments.DefaultChaosOpts()
+	compactBytes := 64 << 10
+	if soak {
+		opts = experiments.DefaultSoakOpts()
+		compactBytes = 32 << 10
+	}
+	opts.ScheduleSeed = seed
+	if replay != "" {
+		raw, err := os.ReadFile(replay)
+		if err != nil {
+			return err
+		}
+		var sched experiments.FaultSchedule
+		if err := json.Unmarshal(raw, &sched); err != nil {
+			return fmt.Errorf("replay %s: %w", replay, err)
+		}
+		if err := sched.Validate(); err != nil {
+			return fmt.Errorf("replay %s: %w", replay, err)
+		}
+		opts.Replay = &sched
+	}
+
+	bin := os.Getenv("HDKNODE_BIN")
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "hdkbench-chaos-bin-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if bin, err = cluster.BuildHDKNode(dir); err != nil {
+			return err
+		}
+	}
+	workDir, err := os.MkdirTemp("", "hdkbench-chaos-")
+	if err != nil {
+		return err
+	}
+	keep := false
+	defer func() {
+		if !keep {
+			os.RemoveAll(workDir)
+		}
+	}()
+
+	h := &cluster.Harness{
+		Bin: bin, DataRoot: filepath.Join(workDir, "data"),
+		Fsync: "always", LogDir: workDir,
+	}
+	if err := h.Start(opts.Nodes, opts.Replicas, "-compact-bytes", fmt.Sprint(compactBytes)); err != nil {
+		return err
+	}
+	defer h.Stop()
+
+	tr := transport.NewTCP()
+	defer tr.Close()
+	restart := func(i int) error {
+		if err := h.Restart(i); err != nil {
+			return err
+		}
+		return h.AwaitMembers(opts.Nodes)
+	}
+	rep, err := experiments.Chaos(tr, h.Addrs(), h.Kill, restart, opts, progress)
+	if err != nil {
+		keep = true
+		fmt.Fprintf(os.Stderr, "hdkbench: node logs and data kept in %s\n", workDir)
+		return err
+	}
+	rep.Fprint(os.Stdout)
+	if jsonPath != "" {
+		if err := experiments.WriteJSON(jsonPath, &experiments.BenchReport{Scale: scale, Chaos: rep}); err != nil {
+			return err
+		}
+	}
+	if !rep.Clean() {
+		keep = true
+		if err := experiments.WriteJSON(filepath.Join(workDir, "fault-schedule.json"), rep.Schedule); err != nil {
+			fmt.Fprintf(os.Stderr, "hdkbench: write schedule artifact: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "hdkbench: node logs, data and fault-schedule.json kept in %s\n", workDir)
+		return fmt.Errorf("chaos gates failed (see report above; replay with -seed %d or -replay %s)",
+			rep.Schedule.Seed, filepath.Join(workDir, "fault-schedule.json"))
 	}
 	return nil
 }

@@ -1,0 +1,14 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint/leakcheck"
+)
+
+// Core tests exercise engines, concurrent searches, admission pools and
+// durable stores; leakcheck fails the run if any goroutine — a search
+// worker, a store's background compaction, an unclosed overlay —
+// survives the tests.
+func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }

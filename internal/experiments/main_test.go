@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint/leakcheck"
+)
+
+// Experiment scenarios spin up whole in-process networks, cluster
+// clients and — in the e2e suite — closed-loop workload goroutines
+// against daemon subprocesses; leakcheck fails the run if any of them
+// (a worker that missed its stop signal, an unclosed transport, a
+// serving loop) survives the tests.
+func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }

@@ -26,6 +26,7 @@ type BenchReport struct {
 	Codec       *CodecReport      `json:"codec,omitempty"`
 	Saturation  *SaturationReport `json:"saturation,omitempty"`
 	Build       *BuildReport      `json:"build,omitempty"`
+	Chaos       *ChaosReport      `json:"chaos,omitempty"`
 }
 
 // BenchJSON extracts the serializable portion of sweep results (the

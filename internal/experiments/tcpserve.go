@@ -351,16 +351,7 @@ func buildServeReference(full, col *corpus.Collection, peers int, cfg core.Confi
 // would, so the incremental build places every document on the peer the
 // reference split expects.
 func splitTail(full *corpus.Collection, built, peers int) []*corpus.Collection {
-	fullParts := full.SplitRoundRobin(peers)
-	builtParts := full.Slice(0, built).SplitRoundRobin(peers)
-	out := make([]*corpus.Collection, peers)
-	for i := range out {
-		out[i] = &corpus.Collection{
-			Vocab: full.Vocab,
-			Docs:  fullParts[i].Docs[len(builtParts[i].Docs):],
-		}
-	}
-	return out
+	return splitRange(full, built, full.M(), peers)
 }
 
 // Fprint renders the serving scenario report.

@@ -153,6 +153,46 @@ func (hv HistogramValue) Mean() float64 {
 	return float64(hv.Sum) / float64(hv.Count)
 }
 
+// Sub returns the observations hv accumulated since prev was captured:
+// bucket-wise subtraction of two snapshots of the SAME monotone
+// histogram, clamped at zero per bucket. The clamp is what makes
+// per-phase deltas well-formed across a process restart — a daemon that
+// died between the snapshots comes back with a fresh registry, its
+// buckets read below prev's, and the clamp attributes exactly its
+// post-restart observations to the phase instead of wrapping a uint64.
+// Count and Sum are recomputed from the clamped buckets (Sum
+// approximated by bucket upper bounds when clamping fired), so Quantile
+// and Mean on the delta stay internally consistent.
+func (hv HistogramValue) Sub(prev HistogramValue) HistogramValue {
+	prevCounts := make(map[int]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevCounts[b.Index] = b.Count
+	}
+	out := HistogramValue{Name: hv.Name, Labels: hv.Labels}
+	clamped := false
+	for _, b := range hv.Buckets {
+		d := b.Count
+		if p := prevCounts[b.Index]; p <= b.Count {
+			d = b.Count - p
+		} else {
+			clamped = true
+		}
+		if d == 0 {
+			continue
+		}
+		out.Buckets = append(out.Buckets, BucketCount{Index: b.Index, Count: d})
+		out.Count += d
+		out.Sum += d * bucketUpper(b.Index)
+	}
+	// A bucket present in prev but absent from hv also means a restart;
+	// the per-bucket deltas above already cover hv's own counts.
+	if !clamped && hv.Sum >= prev.Sum {
+		// No reset detected: the exact running sums subtract cleanly.
+		out.Sum = hv.Sum - prev.Sum
+	}
+	return out
+}
+
 // Merge folds other into a copy of hv bucket-wise and returns it. All
 // histograms share one fixed bucket grid, so merging is exact (no
 // re-bucketing error), associative and commutative — fold any number of

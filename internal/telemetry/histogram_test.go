@@ -196,3 +196,93 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 		t.Fatalf("empty mean = %v, want 0", empty.Mean())
 	}
 }
+
+// TestHistogramSubDelta: Sub of two snapshots of one growing histogram
+// isolates exactly the observations made between them — the per-phase
+// delta the chaos scenario carves out of each daemon's registry.
+func TestHistogramSubDelta(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(10 + i))
+	}
+	s1 := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(uint64(100000 + i))
+	}
+	s2 := h.Snapshot()
+
+	d := s2.Sub(s1)
+	if d.Count != 50 {
+		t.Fatalf("delta count = %d, want 50", d.Count)
+	}
+	if want := s2.Sum - s1.Sum; d.Sum != want {
+		t.Fatalf("delta sum = %d, want %d (exact running-sum difference)", d.Sum, want)
+	}
+	// Every delta observation was ~100000; the old 10..109 values must
+	// not leak into the delta's quantiles.
+	if q := d.Quantile(0.01); q < 100000 {
+		t.Fatalf("delta p1 = %d, contaminated by pre-snapshot observations", q)
+	}
+	// Subtracting a snapshot from itself is empty.
+	if z := s2.Sub(s2); z.Count != 0 || z.Sum != 0 || len(z.Buckets) != 0 {
+		t.Fatalf("self-subtraction not empty: %+v", z)
+	}
+}
+
+// TestHistogramSubClampsOnReset: a restarted daemon's fresh histogram
+// reads below the previous snapshot; Sub must clamp per bucket and
+// report the fresh observations instead of wrapping.
+func TestHistogramSubClampsOnReset(t *testing.T) {
+	var old Histogram
+	for i := 0; i < 1000; i++ {
+		old.Observe(500)
+	}
+	prev := old.Snapshot()
+
+	var fresh Histogram
+	fresh.Observe(500)
+	fresh.Observe(7)
+	d := fresh.Snapshot().Sub(prev)
+	if d.Count != 2 {
+		t.Fatalf("clamped delta count = %d, want the fresh histogram's own 2", d.Count)
+	}
+	for _, b := range d.Buckets {
+		if b.Count > 2 {
+			t.Fatalf("bucket %d count %d wrapped", b.Index, b.Count)
+		}
+	}
+	if q := d.Quantile(1); q < 500 {
+		t.Fatalf("clamped delta max = %d, lost the fresh 500 observation", q)
+	}
+}
+
+// TestHistogramSubMergeComposes: phase deltas must re-assemble — the
+// merge of consecutive Subs equals the Sub across the whole span, so a
+// run-wide quantile can be computed from per-phase deltas.
+func TestHistogramSubMergeComposes(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	snap := func(n int) HistogramValue {
+		for i := 0; i < n; i++ {
+			h.Observe(uint64(rng.Intn(1 << 20)))
+		}
+		return h.Snapshot()
+	}
+	s0 := h.Snapshot()
+	s1, s2, s3 := snap(200), snap(300), snap(400)
+
+	byPhases := s1.Sub(s0).Merge(s2.Sub(s1)).Merge(s3.Sub(s2))
+	whole := s3.Sub(s0)
+	if byPhases.Count != whole.Count || byPhases.Sum != whole.Sum {
+		t.Fatalf("composed delta (%d, %d) != whole-span delta (%d, %d)",
+			byPhases.Count, byPhases.Sum, whole.Count, whole.Sum)
+	}
+	if len(byPhases.Buckets) != len(whole.Buckets) {
+		t.Fatalf("composed delta has %d buckets, whole-span %d", len(byPhases.Buckets), len(whole.Buckets))
+	}
+	for i := range whole.Buckets {
+		if byPhases.Buckets[i] != whole.Buckets[i] {
+			t.Fatalf("bucket %d: composed %+v != whole %+v", i, byPhases.Buckets[i], whole.Buckets[i])
+		}
+	}
+}

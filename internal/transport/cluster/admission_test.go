@@ -326,3 +326,54 @@ func TestSearchConfigureSearchRace(t *testing.T) {
 		}
 	}
 }
+
+// TestConfigureSearchViaOverWire pins the cluster.searchconfig RPC: a
+// live resize shipped through the client must take effect on the
+// daemon's admission path (shedding once shrunk, accepting again once
+// grown back), keep-current sentinels must leave settings untouched,
+// and a malformed payload must be rejected.
+func TestConfigureSearchViaOverWire(t *testing.T) {
+	_, servers, c, req := admissionCluster(t)
+	s := servers[0]
+
+	if err := c.ConfigureSearchVia(s.Addr(), 1, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	s.amu.Lock()
+	workers, queue := cap(s.searchSem), s.searchQueueCap
+	s.amu.Unlock()
+	if workers != 1 || queue != 0 {
+		t.Fatalf("after resize: workers=%d queue=%d, want 1/0", workers, queue)
+	}
+
+	// Keep-current sentinels must not disturb the resized settings.
+	if err := c.ConfigureSearchVia(s.Addr(), 0, -1, -1); err != nil {
+		t.Fatal(err)
+	}
+	s.amu.Lock()
+	workers, queue = cap(s.searchSem), s.searchQueueCap
+	s.amu.Unlock()
+	if workers != 1 || queue != 0 {
+		t.Fatalf("keep-current resize drifted: workers=%d queue=%d, want 1/0", workers, queue)
+	}
+
+	// The shrunk daemon sheds while its single worker is busy...
+	rel, _ := s.admitSearch()
+	_, _, err := c.TrySearchVia(s.Addr(), req)
+	var ov *core.OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("shrunk daemon returned %v, want *core.OverloadError", err)
+	}
+	// ...and a wire resize back up restores capacity mid-saturation.
+	if err := c.ConfigureSearchVia(s.Addr(), 4, 8, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.TrySearchVia(s.Addr(), req); err != nil {
+		t.Fatalf("search after wire-grown capacity: %v", err)
+	}
+	rel()
+
+	if _, err := c.CallService(s.Addr(), ctrlSearchConfig, []byte("{not json")); err == nil {
+		t.Fatal("malformed search config accepted")
+	}
+}

@@ -51,6 +51,9 @@ const (
 	ctrlMeta      = "cluster.meta"
 	ctrlMetrics   = "cluster.metrics"
 	ctrlShutdown  = "cluster.shutdown"
+	// ctrlSearchConfig live-resizes a daemon's query-admission path
+	// (Server.ConfigureSearch over the wire).
+	ctrlSearchConfig = "cluster.searchconfig"
 )
 
 // maxTransientRetries mirrors the overlay fabrics' retry budget for
@@ -434,6 +437,33 @@ func (c *Client) Meta(addr string) (core.Config, error) {
 	}
 	err = json.Unmarshal(raw, &cfg)
 	return cfg, err
+}
+
+// searchConfig is the cluster.searchconfig payload: a live resize of a
+// daemon's query-admission path. Field semantics are exactly
+// Server.ConfigureSearch's: Workers < 1, Queue < 0 and Cache < 0 keep
+// the daemon's current setting (mirroring cmd/hdknode's flags).
+type searchConfig struct {
+	Workers int `json:"workers"`
+	Queue   int `json:"queue"`
+	Cache   int `json:"cache"`
+}
+
+// ConfigureSearchVia resizes the admission path of the daemon at addr
+// while it serves: workers bounds concurrent coordinations, queue the
+// bounded admission wait, cache the query-result LRU. Safe under live
+// load — in-flight coordinations drain against the pool they were
+// admitted to (see Server.ConfigureSearch) — which is what lets a chaos
+// schedule resize daemons mid-workload.
+func (c *Client) ConfigureSearchVia(addr string, workers, queue, cache int) error {
+	payload, err := json.Marshal(searchConfig{Workers: workers, Queue: queue, Cache: cache})
+	if err != nil {
+		return err
+	}
+	if _, err := c.CallService(addr, ctrlSearchConfig, payload); err != nil {
+		return fmt.Errorf("cluster: configure search at %s: %w", addr, err)
+	}
+	return nil
 }
 
 // Shutdown asks one daemon to exit gracefully.

@@ -32,6 +32,11 @@ type Harness struct {
 	// Fsync overrides the daemons' -fsync policy (DataRoot only;
 	// default "always", the SIGKILL-proof setting restart tests need).
 	Fsync string
+	// LogDir, when non-empty, tees each daemon's stdout and stderr into
+	// LogDir/node<i>.log (appending across restarts, so one file tells
+	// a daemon's whole multi-incarnation story) — the artifact a chaos
+	// failure uploads next to the fault schedule.
+	LogDir string
 
 	procs     []*exec.Cmd
 	addrs     []string
@@ -100,17 +105,17 @@ func (h *Harness) Start(n, replicas int, extraArgs ...string) error {
 			join = h.addrs[0]
 		}
 		cmd := exec.Command(h.Bin, h.nodeArgs(i, "127.0.0.1:0", join)...)
-		cmd.Stderr = h.Stderr
-		stdout, err := cmd.StdoutPipe()
+		stdout, logf, err := h.wirePipes(cmd, i)
 		if err != nil {
 			return err
 		}
 		if err := cmd.Start(); err != nil {
+			closeLog(logf)
 			return fmt.Errorf("cluster: start node %d: %w", i, err)
 		}
 		h.procs = append(h.procs, cmd)
 		h.dead = append(h.dead, false)
-		addr, httpAddr, err := awaitBanner(stdout)
+		addr, httpAddr, err := awaitBanner(stdout, logf)
 		if err != nil {
 			h.Stop()
 			return fmt.Errorf("cluster: node %d: %w", i, err)
@@ -149,15 +154,15 @@ func (h *Harness) Restart(i int) error {
 		return fmt.Errorf("cluster: no live member for node %d to rejoin through", i)
 	}
 	cmd := exec.Command(h.Bin, h.nodeArgs(i, h.addrs[i], join)...)
-	cmd.Stderr = h.Stderr
-	stdout, err := cmd.StdoutPipe()
+	stdout, logf, err := h.wirePipes(cmd, i)
 	if err != nil {
 		return err
 	}
 	if err := cmd.Start(); err != nil {
+		closeLog(logf)
 		return fmt.Errorf("cluster: restart node %d: %w", i, err)
 	}
-	addr, httpAddr, err := awaitBanner(stdout)
+	addr, httpAddr, err := awaitBanner(stdout, logf)
 	if err != nil {
 		cmd.Process.Kill()
 		cmd.Wait()
@@ -176,16 +181,55 @@ func (h *Harness) Restart(i int) error {
 	return nil
 }
 
+// wirePipes prepares one daemon invocation's stdio: stdout comes back
+// as the reader awaitBanner scans, and with LogDir set both streams tee
+// into the per-node log file (which awaitBanner's drain goroutine closes
+// once the daemon exits).
+func (h *Harness) wirePipes(cmd *exec.Cmd, i int) (stdout io.Reader, logf *os.File, err error) {
+	cmd.Stderr = h.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	stdout = pipe
+	if h.LogDir == "" {
+		return stdout, nil, nil
+	}
+	logf, err = os.OpenFile(filepath.Join(h.LogDir, fmt.Sprintf("node%d.log", i)),
+		os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: node %d log: %w", i, err)
+	}
+	if h.Stderr != nil {
+		cmd.Stderr = io.MultiWriter(logf, h.Stderr)
+	} else {
+		cmd.Stderr = logf
+	}
+	return io.TeeReader(pipe, logf), logf, nil
+}
+
+// closeLog closes a per-node log file if one was opened (start-failure
+// path; the success path hands ownership to awaitBanner's drainer).
+func closeLog(logf *os.File) {
+	if logf != nil {
+		logf.Close()
+	}
+}
+
 // awaitBanner scans a daemon's stdout for the listening banner, also
 // collecting the observability-endpoint banner ("hdknode http on
 // <addr>", printed first when the daemon runs with -http; "" without).
-func awaitBanner(r io.Reader) (addr, httpAddr string, err error) {
+// logf, when non-nil, is the per-node log file the stream tees into;
+// the drain goroutine closes it at process exit (stdout EOF), so every
+// incarnation's output is flushed before the next restart appends.
+func awaitBanner(r io.Reader, logf *os.File) (addr, httpAddr string, err error) {
 	type result struct {
 		addr, httpAddr string
 		err            error
 	}
 	ch := make(chan result, 1)
 	go func() {
+		defer closeLog(logf)
 		var http string
 		sc := bufio.NewScanner(r)
 		for sc.Scan() {
@@ -236,6 +280,13 @@ func (h *Harness) awaitConvergence(n int) error {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+// AwaitMembers blocks until every daemon reports n members (or the
+// start timeout passes) — the readiness re-poll a fault driver runs
+// after a restart-under-load before firing the next action at the
+// returned daemon. Every daemon must be running: a dead process can
+// never converge, so call this only with the full cluster up.
+func (h *Harness) AwaitMembers(n int) error { return h.awaitConvergence(n) }
 
 // Addrs returns the daemons' listen addresses in start order.
 func (h *Harness) Addrs() []string { return append([]string(nil), h.addrs...) }

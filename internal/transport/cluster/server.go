@@ -527,6 +527,13 @@ func (s *Server) dispatch(req []byte) ([]byte, error) {
 		return meta, nil
 	case ctrlMetrics:
 		return telemetry.EncodeSnapshot(s.metrics.reg.Snapshot()), nil
+	case ctrlSearchConfig:
+		var sc searchConfig
+		if err := json.Unmarshal(payload, &sc); err != nil {
+			return nil, fmt.Errorf("cluster: %s: bad search config: %w", s.addr, err)
+		}
+		s.ConfigureSearch(sc.Workers, sc.Queue, sc.Cache)
+		return nil, nil
 	case ctrlShutdown:
 		// Signal Done only after this response frame has had time to
 		// flush: the daemon main closes the transport on Done, and
